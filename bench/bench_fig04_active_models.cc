@@ -1,0 +1,43 @@
+// Figure 4 / Theorem 3.1: active model count over time.
+// Paper setting: M = 100, lambda = 0.037, T = 16.79 s => E[m] = 46.55,
+// i.e. request-level auto-scaling still needs ~E[m] reserved GPUs
+// (< 3 models per GPU of pooling).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "analysis/theory.h"
+
+using namespace aegaeon;
+
+int main() {
+  const int kModels = 100;
+  const double kLambda = 0.037;
+  const double kService = 16.79;
+
+  double expected = ExpectedActiveModels(kModels, kLambda, kService);
+  std::printf("=== Figure 4: active model count (M=%d, lambda=%.3f, T=%.2fs) ===\n", kModels,
+              kLambda, kService);
+  std::printf("Theorem 3.1 closed form: E[m] = M*(1-e^(-lambda*T)) = %.2f (paper: 46.55)\n\n",
+              expected);
+
+  ActiveModelTrace trace =
+      SimulateActiveModels(kModels, kLambda, kService, /*horizon=*/2100.0,
+                           /*sample_interval=*/1.0, /*seed=*/4, /*warmup=*/100.0);
+
+  std::printf("%-10s %s\n", "time (s)", "active models");
+  for (size_t i = 0; i < trace.sample_times.size(); i += 100) {
+    std::printf("%-10.0f %d\n", trace.sample_times[i], trace.active_counts[i]);
+  }
+  int min_count = 1000;
+  int max_count = 0;
+  for (int c : trace.active_counts) {
+    min_count = std::min(min_count, c);
+    max_count = std::max(max_count, c);
+  }
+  std::printf("\nSimulated mean: %.2f (expected %.2f); range [%d, %d]\n", trace.mean, expected,
+              min_count, max_count);
+  std::printf("Implied pooling limit of request-level scaling: %.2f models/GPU (paper: < 3)\n",
+              kModels / expected);
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Figure 6 / §4.1: unified vs. disaggregated token-level scheduling.
+// All three systems get the same GPUs and the same T3 auto-scaling stack;
+// only the scheduling differs:
+//   prefill-first unified: bursts of prefills stall decoding -> TBT misses;
+//   decode-first unified:  busy decode phases stall prefills -> TTFT misses;
+//   disaggregated (Aegaeon): balanced on both workloads.
+// Workload A is bursty (arrival spikes); workload B has 4x-long prompts.
+
+#include <cstdio>
+
+#include "analysis/stats.h"
+#include "baselines/unified.h"
+#include "e2e_common.h"
+
+using namespace aegaeon;
+using namespace aegaeon_bench;
+
+namespace {
+
+struct Row {
+  double attainment;
+  double ttft_p99;
+  double decode_wait_share;
+};
+
+Row RunUnified(UnifiedPolicy policy, const ModelRegistry& registry,
+               const std::vector<ArrivalEvent>& trace) {
+  UnifiedConfig config;
+  config.instances = 16;
+  config.policy = policy;
+  UnifiedCluster cluster(config, registry, GpuSpec::H800());
+  RunMetrics metrics = cluster.Run(trace);
+  double total = metrics.breakdown.Total();
+  return Row{metrics.SloAttainment(), Percentile(metrics.ttft_samples, 99),
+             total > 0 ? metrics.breakdown.decode_wait / total : 0.0};
+}
+
+Row RunDisagg(const ModelRegistry& registry, const std::vector<ArrivalEvent>& trace) {
+  RunMetrics metrics = RunAegaeon(registry, trace);
+  double total = metrics.breakdown.Total();
+  return Row{metrics.SloAttainment(), Percentile(metrics.ttft_samples, 99),
+             total > 0 ? metrics.breakdown.decode_wait / total : 0.0};
+}
+
+void Report(const char* workload, const ModelRegistry& registry,
+            const std::vector<ArrivalEvent>& trace) {
+  std::printf("\n--- %s (%zu requests) ---\n", workload, trace.size());
+  std::printf("%-26s %12s %14s %16s\n", "scheduler", "SLO attain", "p99 TTFT (s)",
+              "decode-wait shr");
+  Row pf = RunUnified(UnifiedPolicy::kPrefillFirst, registry, trace);
+  Row df = RunUnified(UnifiedPolicy::kDecodeFirst, registry, trace);
+  Row dis = RunDisagg(registry, trace);
+  std::printf("%-26s %11.1f%% %14.2f %15.1f%%\n", "unified prefill-first",
+              pf.attainment * 100.0, pf.ttft_p99, pf.decode_wait_share * 100.0);
+  std::printf("%-26s %11.1f%% %14.2f %15.1f%%\n", "unified decode-first",
+              df.attainment * 100.0, df.ttft_p99, df.decode_wait_share * 100.0);
+  std::printf("%-26s %11.1f%% %14.2f %15.1f%%\n", "disaggregated (Aegaeon)",
+              dis.attainment * 100.0, dis.ttft_p99, dis.decode_wait_share * 100.0);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 6 / §4.1: unified vs disaggregated scheduling, 16 GPUs ===\n");
+
+  // Workload A: bursty arrivals (prefill-first's weakness is TBT under
+  // bursts; the spikes keep decoding preempted).
+  {
+    ModelRegistry registry = ModelRegistry::MidSizeMarket(40);
+    Dataset dataset = Dataset::ShareGpt();
+    auto trace = GeneratePoisson(registry, 0.12, kHorizon, dataset, kSeed);
+    for (int burst = 0; burst < 4; ++burst) {
+      AddBurst(trace, registry, static_cast<ModelId>(burst), /*burst_rps=*/3.0,
+               /*start=*/40.0 + burst * 50.0, /*length=*/15.0, dataset, kSeed + burst);
+    }
+    Report("A: bursty arrivals (ShareGPT)", registry, trace);
+  }
+
+  // Workload B: long prompts (decode-first's weakness is TTFT when prefills
+  // queue behind long decode phases).
+  {
+    ModelRegistry registry = ModelRegistry::MidSizeMarket(40);
+    Dataset long_inputs("ShareGPT-ix4", 4.5, 1.1, 5.25, 0.9, /*input_scale=*/4.0, 1.0);
+    auto trace = GeneratePoisson(registry, 0.12, kHorizon, long_inputs, kSeed);
+    Report("B: 4x-long prompts", registry, trace);
+  }
+
+  std::printf("\n(disaggregation balances both; each unified heuristic fails on one —\n"
+              "the §4.1 argument for splitting the pool)\n");
+  return 0;
+}

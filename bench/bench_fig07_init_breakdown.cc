@@ -1,0 +1,61 @@
+// Figure 7 (middle/right): composition of an LLM inference engine and the
+// latency breakdown of its initialization, before and after Aegaeon's
+// optimizations. Paper: unoptimized init of a 13B model (TP=2) totals
+// ~26.9 s, of which only 4.6 s is the (naive) weight load; optimized
+// loading runs at stage-buffer bandwidth in under one second.
+
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/table.h"
+#include "engine/components.h"
+#include "hw/gpu_spec.h"
+#include "model/latency_model.h"
+#include "model/model_spec.h"
+
+using namespace aegaeon;
+
+int main() {
+  EngineCostModel costs;
+  LatencyModel latency(GpuSpec::H800());
+  ModelSpec spec = ModelSpec::Llama13B();
+  const int kTp = 2;
+  const double kCpuKvPool = 30e9;
+
+  double dist = costs.DistExecutorInit(kTp);
+  double profile = costs.ProfileInit(spec);
+  double kv_init = costs.KvPinInit(kCpuKvPool);
+  double misc = costs.MiscInit();
+  double gc = costs.GcPass();
+  double naive_load = latency.NaiveLoad(spec, kTp, costs.naive_load_bytes_per_s);
+  double fast_load = latency.SwitchLoad(spec, kTp);
+
+  std::printf("=== Figure 7: engine initialization breakdown (LLaMA-13B, TP=2) ===\n\n");
+  Table before({"Stage (before optimization)", "Latency (s)"});
+  before.AddRow({"Distributed executor (Ray/NCCL)", Table::Num(dist, 1)});
+  before.AddRow({"Profiling & optimization", Table::Num(profile, 1)});
+  before.AddRow({"Model weights loading (naive, 2.83 GB/s)", Table::Num(naive_load, 1)});
+  before.AddRow({"CPU KV cache init (page pinning)", Table::Num(kv_init, 1)});
+  before.AddRow({"GC / VRAM defragmentation", Table::Num(gc, 1)});
+  before.AddRow({"Other components (tokenizer, sched, log)", Table::Num(misc, 1)});
+  double total = dist + profile + naive_load + kv_init + gc + misc;
+  before.AddRow({"TOTAL", Table::Num(total, 1)});
+  before.Print(std::cout);
+
+  std::printf("\nPaper: total ~26.9 s; weight load 4.6 s at 2.83 GB/s.\n\n");
+
+  Table after({"Stage (after component reuse + explicit memory)", "Latency (s)"});
+  after.AddRow({"Distributed executor", "reused (0)"});
+  after.AddRow({"Profiling & optimization", "cached (0)"});
+  after.AddRow({"Model weights loading (stage-buffered)", Table::Num(fast_load, 2)});
+  after.AddRow({"CPU KV cache init", "pre-pinned pool (0)"});
+  after.AddRow({"GC pass", "bump allocator (0)"});
+  after.AddRow({"Other components", "reused (0)"});
+  after.AddRow({"TOTAL", Table::Num(fast_load, 2)});
+  after.Print(std::cout);
+
+  std::printf("\nInit latency removed: %.1f%% (paper: \"over 80%%\" from reuse alone; the full\n"
+              "stack reaches ~97%% with KV transfer overlap — see bench_fig08)\n",
+              100.0 * (1.0 - fast_load / total));
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 11: end-to-end SLO attainment on ShareGPT (16 H800 GPUs; Aegaeon
+// uses 6 prefill + 10 decoding instances).
+//   (a) RPS = 0.1 per model, sweeping the number of models;
+//   (b) RPS = 0.5 per model, sweeping the number of models;
+//   (c) 40 models, sweeping the per-model arrival rate.
+// Paper headlines: Aegaeon sustains 2x (a) / 2.5x (b) higher load than
+// ServerlessLLM and supports up to 7 models per decoding GPU; MuxServe is
+// capped at 32 models by memory.
+
+#include <cstdio>
+#include <vector>
+
+#include "e2e_common.h"
+
+using namespace aegaeon;
+using namespace aegaeon_bench;
+
+namespace {
+
+void SweepModels(const char* title, double rps, const std::vector<int>& model_counts) {
+  PrintHeader(title);
+  std::vector<double> xs;
+  std::vector<double> ours;
+  std::vector<double> sllm;
+  for (int models : model_counts) {
+    ModelRegistry registry = ModelRegistry::MidSizeMarket(models);
+    auto trace = GeneratePoisson(registry, rps, kHorizon, Dataset::ShareGpt(), kSeed);
+    E2eResult result = RunAllSystems(registry, trace);
+    PrintE2eRow(models, result, "#models");
+    xs.push_back(models);
+    ours.push_back(result.aegaeon);
+    sllm.push_back(result.serverless);
+  }
+  double a = MaxLoadMeeting90(xs, ours);
+  double s = MaxLoadMeeting90(xs, sllm);
+  if (s > 0) {
+    std::printf("Max models at 90%% SLO: Aegaeon %.0f, ServerlessLLM %.0f (ratio %.2fx)\n", a, s,
+                a / s);
+  } else {
+    std::printf("Max models at 90%% SLO: Aegaeon %.0f, ServerlessLLM < %.0f (ratio > %.2fx)\n",
+                a, xs.front(), a / xs.front());
+  }
+}
+
+}  // namespace
+
+int main() {
+  // (a) RPS = 0.1.
+  SweepModels("Figure 11(a): ShareGPT, RPS = 0.1", 0.1, {20, 32, 44, 56, 70, 80});
+
+  // (b) RPS = 0.5.
+  SweepModels("Figure 11(b): ShareGPT, RPS = 0.5", 0.5, {16, 24, 32, 40, 48});
+
+  // (c) 40 models, rate sweep.
+  PrintHeader("Figure 11(c): 40 models, sweeping per-model arrival rate");
+  std::vector<double> xs;
+  std::vector<double> ours;
+  std::vector<double> sllm;
+  ModelRegistry registry = ModelRegistry::MidSizeMarket(40);
+  for (double rps : {0.05, 0.15, 0.30, 0.45, 0.60, 0.75}) {
+    auto trace = GeneratePoisson(registry, rps, kHorizon, Dataset::ShareGpt(), kSeed);
+    E2eResult result = RunAllSystems(registry, trace);
+    PrintE2eRow(rps, result, "rate (req/s)");
+    xs.push_back(rps);
+    ours.push_back(result.aegaeon);
+    sllm.push_back(result.serverless);
+  }
+  std::printf("Max rate at 90%% SLO: Aegaeon %.2f, ServerlessLLM %.2f\n",
+              MaxLoadMeeting90(xs, ours), MaxLoadMeeting90(xs, sllm));
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Figure 13: end-to-end SLO attainment under stricter SLOs. Keeps the
+// Figure 11(a) setting (ShareGPT, RPS = 0.1) while scaling the target TTFT
+// and TBT to 0.5x / 0.3x / 0.2x (down to 2 s TTFT and 20 ms TBT).
+// Paper: Aegaeon leads at 0.5x and 0.3x; at 0.2x the slack vanishes and
+// static multiplexing (MuxServe) catches up, though Aegaeon still beats
+// request-level auto-scaling (ServerlessLLM).
+
+#include <cstdio>
+#include <vector>
+
+#include "e2e_common.h"
+
+using namespace aegaeon;
+using namespace aegaeon_bench;
+
+int main() {
+  const std::vector<int> model_counts = {16, 28, 40, 52, 64};
+  for (double scale : {0.5, 0.3, 0.2}) {
+    std::printf("\n=== Figure 13: %.1fx SLO (TTFT %.1fs, TBT %.0fms), RPS = 0.1 ===\n", scale,
+                10.0 * scale, 100.0 * scale);
+    for (int models : model_counts) {
+      ModelRegistry registry =
+          ModelRegistry::MidSizeMarket(models, SloSpec::Chatbot().Scaled(scale));
+      auto trace = GeneratePoisson(registry, 0.1, kHorizon, Dataset::ShareGpt(), kSeed);
+      double ours = RunAegaeon(registry, trace).SloAttainment();
+      double sllm = RunServerless(registry, trace, false).SloAttainment();
+      double mux = RunMux(registry, trace).SloAttainment();
+      std::printf("#models %3d | Aegaeon %6.1f%% | ServerlessLLM %6.1f%% | MuxServe %6.1f%%\n",
+                  models, ours * 100.0, sllm * 100.0, mux * 100.0);
+    }
+  }
+  return 0;
+}

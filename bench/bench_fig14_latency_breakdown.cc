@@ -1,0 +1,41 @@
+// Figure 14: request latency breakdown across setups (#models x RPS).
+// Each request's lifetime decomposes into prefill waiting/execution,
+// decoding waiting/execution, and the KV-cache management overheads
+// (control: index/event bookkeeping; data: explicit transfer waits).
+// Paper: prefill waiting stays controlled as load grows, decoding waiting
+// dominates by design (buffered-output slack), overheads are negligible.
+
+#include <cstdio>
+#include <vector>
+
+#include "e2e_common.h"
+
+using namespace aegaeon;
+using namespace aegaeon_bench;
+
+int main() {
+  struct Setup {
+    int models;
+    double rps;
+  };
+  const std::vector<Setup> setups = {{16, 0.1}, {32, 0.1}, {64, 0.1}, {16, 0.5}, {32, 0.5}};
+
+  std::printf("=== Figure 14: request latency breakdown (%% of total) ===\n\n");
+  std::printf("%-10s %12s %12s %12s %12s %12s %12s\n", "setup", "prefill-wait", "prefill-exec",
+              "decode-wait", "decode-exec", "control-ovh", "data-ovh");
+  for (const Setup& setup : setups) {
+    ModelRegistry registry = ModelRegistry::MidSizeMarket(setup.models);
+    auto trace = GeneratePoisson(registry, setup.rps, kHorizon, Dataset::ShareGpt(), kSeed);
+    RunMetrics metrics = RunAegaeon(registry, trace);
+    const LatencyBreakdown& b = metrics.breakdown;
+    double total = b.Total();
+    std::printf("%3dx%.1f     %11.1f%% %11.1f%% %11.1f%% %11.1f%% %11.2f%% %11.2f%%\n",
+                setup.models, setup.rps, 100.0 * b.prefill_wait / total,
+                100.0 * b.prefill_exec / total, 100.0 * b.decode_wait / total,
+                100.0 * b.decode_exec / total, 100.0 * b.control_overhead / total,
+                100.0 * b.data_overhead / total);
+  }
+  std::printf("\n(decoding waiting is the deliberately-earned slack of §4.3's weighted\n"
+              "round-robin; overheads stay well under 1%% of request time)\n");
+  return 0;
+}

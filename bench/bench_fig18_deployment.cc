@@ -1,0 +1,82 @@
+// Figure 18: GPU utilization before and after deploying Aegaeon, over a
+// long (diurnally modulated) horizon.
+//   Before (low load):  a dedicated instance serving the least-loaded model.
+//   Before (high load): a dedicated instance serving the most-loaded model.
+//   After (Aegaeon):    the pooled deployment serving many models at once.
+// Paper: utilization rises from 13.3%-33.9% to ~48.1% with no SLO
+// violations. Each time bucket is simulated independently with the
+// bucket's diurnal rate multiplier (a 70-hour production window compressed
+// into per-bucket simulations).
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "baselines/dedicated.h"
+#include "e2e_common.h"
+
+using namespace aegaeon;
+using namespace aegaeon_bench;
+
+namespace {
+
+constexpr double kBucketTrace = 150.0;  // simulated seconds per bucket
+
+double DedicatedUtil(double rps, uint64_t seed) {
+  ModelRegistry registry = ModelRegistry::MidSizeMarket(1);
+  auto trace = GeneratePoisson(registry, rps, kBucketTrace, Dataset::ShareGpt(), seed);
+  DedicatedCluster cluster(DedicatedConfig{}, registry, GpuSpec::H800());
+  RunMetrics metrics = cluster.Run(trace);
+  return metrics.horizon > 0 ? cluster.busy_time()[0] / metrics.horizon : 0.0;
+}
+
+double AegaeonUtil(double rps_per_model, uint64_t seed, double* attainment) {
+  ModelRegistry registry = ModelRegistry::MidSizeMarket(24);
+  auto trace = GeneratePoisson(registry, rps_per_model, kBucketTrace, Dataset::ShareGpt(), seed);
+  AegaeonConfig config;
+  config.prefill_instances = 2;
+  config.decode_instances = 4;
+  AegaeonCluster cluster(config, registry, GpuSpec::H800());
+  RunMetrics metrics = cluster.Run(trace);
+  *attainment = metrics.SloAttainment();
+  double total = 0.0;
+  auto utils = cluster.GpuUtilization(metrics.horizon);
+  for (double u : utils) {
+    total += u;
+  }
+  return total / static_cast<double>(utils.size());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 18: GPU utilization before/after Aegaeon (70h window) ===\n\n");
+  std::printf("%-8s %12s %14s %14s %16s\n", "hour", "Before(low)", "Before(high)",
+              "After(Aegaeon)", "Aegaeon SLO");
+  double sum_low = 0.0;
+  double sum_high = 0.0;
+  double sum_after = 0.0;
+  double min_attainment = 1.0;
+  const int kBuckets = 14;  // one per 5 hours
+  for (int b = 0; b < kBuckets; ++b) {
+    // Diurnal modulation around the mean load.
+    double m = 1.0 + 0.45 * std::sin(2.0 * M_PI * (b + 2) / 7.0);
+    double attainment = 1.0;
+    double low = DedicatedUtil(0.035 * m, 100 + b);
+    double high = DedicatedUtil(0.16 * m, 200 + b);
+    double after = AegaeonUtil(0.065 * m, 300 + b, &attainment);
+    min_attainment = std::min(min_attainment, attainment);
+    sum_low += low;
+    sum_high += high;
+    sum_after += after;
+    std::printf("%-8d %11.1f%% %13.1f%% %13.1f%% %15.1f%%\n", b * 5, low * 100.0, high * 100.0,
+                after * 100.0, attainment * 100.0);
+  }
+  std::printf("\nAverages: Before(low) %.1f%%, Before(high) %.1f%%, After(Aegaeon) %.1f%%\n",
+              100.0 * sum_low / kBuckets, 100.0 * sum_high / kBuckets,
+              100.0 * sum_after / kBuckets);
+  std::printf("Paper: 13.3%% / 33.9%% -> 48.1%%. Minimum bucket SLO attainment: %.1f%% "
+              "(no observable violations)\n",
+              min_attainment * 100.0);
+  return 0;
+}

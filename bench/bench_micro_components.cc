@@ -1,0 +1,108 @@
+// Micro-benchmarks (google-benchmark) for the hot data-plane components:
+// event queue, slab allocator, bump allocator, quota computation, and the
+// Zipf sampler. These bound the simulator's own control-plane costs.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/decode_scheduler.h"
+#include "infer/paged_kv.h"
+#include "infer/tiny_llm.h"
+#include "mem/bump_allocator.h"
+#include "mem/slab_allocator.h"
+#include "sim/event_queue.h"
+#include "sim/random.h"
+
+namespace aegaeon {
+namespace {
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    EventQueue queue;
+    for (int i = 0; i < n; ++i) {
+      queue.Push(rng.NextDouble(), [] {});
+    }
+    while (!queue.empty()) {
+      queue.PopAndRun();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(16384);
+
+void BM_SlabAllocFree(benchmark::State& state) {
+  SlabAllocator slabs(1ULL << 30, 1ULL << 22);
+  slabs.RegisterShape(0, 512 * 1024);
+  const size_t count = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto blocks = slabs.Alloc(0, count);
+    slabs.Free(blocks);
+    benchmark::DoNotOptimize(blocks);
+  }
+  state.SetItemsProcessed(state.iterations() * count);
+}
+BENCHMARK(BM_SlabAllocFree)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_BumpAlloc(benchmark::State& state) {
+  BumpAllocator bump(1ULL << 30);
+  for (auto _ : state) {
+    auto offset = bump.Alloc(4096);
+    if (!offset.has_value()) {
+      bump.Reset();
+    }
+    benchmark::DoNotOptimize(offset);
+  }
+}
+BENCHMARK(BM_BumpAlloc);
+
+void BM_ComputeQuotas(benchmark::State& state) {
+  std::vector<BatchQuotaInput> batches(static_cast<size_t>(state.range(0)),
+                                       BatchQuotaInput{0.015, 0.1});
+  for (auto _ : state) {
+    QuotaResult result = ComputeQuotas(batches, 3.0, 4.0);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ComputeQuotas)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_TinyLlmDecode(benchmark::State& state) {
+  TinyLlmConfig config;
+  config.hidden = static_cast<int>(state.range(0));
+  config.ffn = config.hidden * 2;
+  TinyLlm model(config, 1);
+  KvArena arena(1 << 24, 1 << 16);
+  PagedKvStore kv(config.KvGeometry(), &arena);
+  std::vector<float> logits = model.ForwardToken(1, 0, kv);
+  int next = model.Greedy(logits);
+  for (auto _ : state) {
+    if (kv.tokens() > 2000) {
+      state.PauseTiming();
+      kv.Release();
+      logits = model.ForwardToken(1, 0, kv);
+      next = model.Greedy(logits);
+      state.ResumeTiming();
+    }
+    logits = model.ForwardToken(next, kv.tokens(), kv);
+    next = model.Greedy(logits);
+    benchmark::DoNotOptimize(next);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TinyLlmDecode)->Arg(48)->Arg(96);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfSampler zipf(static_cast<size_t>(state.range(0)), 1.8);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample)->Arg(100)->Arg(10000);
+
+}  // namespace
+}  // namespace aegaeon
+
+BENCHMARK_MAIN();

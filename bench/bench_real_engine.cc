@@ -1,0 +1,68 @@
+// Real-execution validation bench: MiniAegaeon serves several tiny
+// transformers with token-level preemptive switching on one shared KV
+// arena, and every output is checked against its dedicated-run reference.
+// This is the engine-level counterpart of the simulated end-to-end figures:
+// the schedulers' *policy* is evaluated at simulated H800 scale, and the
+// KV bookkeeping's *correctness* is proven here with genuine attention.
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "infer/mini_server.h"
+
+using namespace aegaeon;
+
+int main() {
+  TinyLlmConfig config;
+  config.vocab = 96;
+  config.hidden = 32;
+  config.layers = 2;
+  config.heads = 4;
+  config.kv_heads = 2;
+  config.ffn = 64;
+
+  std::printf("=== Real-execution exactness: token-level multi-model serving ===\n");
+  std::printf("(tiny LLaMA-style models, genuine forward passes, shared KV arena)\n\n");
+  std::printf("%-8s %-8s %10s %10s %10s %12s %10s\n", "models", "reqs", "tokens", "switches",
+              "kv-swaps", "wall (ms)", "exact?");
+
+  for (int model_count : {1, 2, 4, 6}) {
+    MiniAegaeon server(model_count, config, /*arena_bytes=*/1 << 22,
+                       /*seed=*/17 + model_count);
+    struct Job {
+      int model;
+      std::vector<int> prompt;
+      int max_new;
+    };
+    std::vector<Job> jobs;
+    for (int r = 0; r < model_count * 3; ++r) {
+      jobs.push_back(Job{r % model_count,
+                         {1 + r, 2 + r, 3 + (r % 5)},
+                         16 + (r % 4) * 8});
+    }
+    std::vector<int> ids;
+    int total_tokens = 0;
+    for (const Job& job : jobs) {
+      ids.push_back(server.Submit(job.model, job.prompt, job.max_new));
+      total_tokens += job.max_new;
+    }
+    auto start = std::chrono::steady_clock::now();
+    bool completed = server.RunToCompletion(/*quota_tokens=*/5);
+    auto elapsed = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+    bool exact = completed;
+    for (size_t i = 0; i < jobs.size() && exact; ++i) {
+      exact = server.request(ids[i]).output ==
+              server.DedicatedReference(jobs[i].model, jobs[i].prompt, jobs[i].max_new);
+    }
+    std::printf("%-8d %-8zu %10d %10lu %10lu %12.1f %10s\n", model_count, jobs.size(),
+                total_tokens, static_cast<unsigned long>(server.model_switches()),
+                static_cast<unsigned long>(server.kv_swaps()), elapsed,
+                exact ? "YES" : "NO!");
+  }
+  std::printf("\n(every preempted, swapped, and resumed request reproduces its dedicated\n"
+              "run bit-exactly — the correctness contract behind Figure 2(b))\n");
+  return 0;
+}

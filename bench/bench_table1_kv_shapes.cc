@@ -1,0 +1,33 @@
+// Table 1: the shape and size of KV cache for different models in vLLM.
+// Values pertain to a single token at 16-bit precision.
+
+#include <iostream>
+
+#include "analysis/table.h"
+#include "model/model_spec.h"
+
+using namespace aegaeon;
+
+int main() {
+  std::cout << "=== Table 1: KV cache shape and size (per token, 16-bit) ===\n";
+  std::cout << "Paper: Qwen-7B 512 KB | InternLM2.5-7B 128 KB | LLaMA-13B 800 KB | "
+               "Qwen-72B 2560 KB\n\n";
+  Table table({"Model", "KV Cache Shape", "KV Cache Size"});
+  for (const ModelSpec& spec : {ModelSpec::Qwen7B(), ModelSpec::InternLm2_7B(),
+                                ModelSpec::Llama13B(), ModelSpec::Qwen72B()}) {
+    table.AddRow({spec.name, spec.kv_shape().ToString(),
+                  Table::Num(spec.kv_bytes_per_token() / 1024.0, 0) + " KB"});
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nAdditional market models (same derivation):\n";
+  Table extra({"Model", "KV Cache Shape", "KV Cache Size", "Weights"});
+  for (const ModelSpec& spec : {ModelSpec::Qwen1_8B(), ModelSpec::Yi6B(), ModelSpec::Yi9B(),
+                                ModelSpec::Qwen14B(), ModelSpec::Qwen32B()}) {
+    extra.AddRow({spec.name, spec.kv_shape().ToString(),
+                  Table::Num(spec.kv_bytes_per_token() / 1024.0, 0) + " KB",
+                  Table::Num(spec.weight_bytes() / 1e9, 0) + " GB"});
+  }
+  extra.Print(std::cout);
+  return 0;
+}

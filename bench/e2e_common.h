@@ -1,0 +1,101 @@
+// Shared harness for the end-to-end figure reproductions: runs Aegaeon and
+// the three baselines on a common trace and reports token-level SLO
+// attainment, mirroring the paper's §7.2 setup (16 H800 GPUs: 6 prefill +
+// 10 decoding instances for Aegaeon; the same 16 GPUs for baselines).
+
+#ifndef AEGAEON_BENCH_E2E_COMMON_H_
+#define AEGAEON_BENCH_E2E_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/metrics.h"
+#include "baselines/muxserve.h"
+#include "baselines/serverless_llm.h"
+#include "core/cluster.h"
+#include "hw/gpu_spec.h"
+#include "model/registry.h"
+#include "workload/dataset.h"
+#include "workload/generator.h"
+
+namespace aegaeon_bench {
+
+using namespace aegaeon;
+
+inline constexpr double kHorizon = 240.0;  // seconds of trace per point
+inline constexpr uint64_t kSeed = 2025;
+
+struct E2eResult {
+  double aegaeon = 0.0;
+  double serverless = 0.0;
+  double serverless_plus = 0.0;
+  double muxserve = 0.0;
+};
+
+inline RunMetrics RunAegaeon(const ModelRegistry& registry,
+                             const std::vector<ArrivalEvent>& trace, int prefill = 6,
+                             int decode = 10) {
+  AegaeonConfig config;
+  config.prefill_instances = prefill;
+  config.decode_instances = decode;
+  AegaeonCluster cluster(config, registry, GpuSpec::H800());
+  return cluster.Run(trace);
+}
+
+inline RunMetrics RunServerless(const ModelRegistry& registry,
+                                const std::vector<ArrivalEvent>& trace, bool sjf,
+                                int gpus = 16) {
+  ServerlessLlmConfig config;
+  config.gpus = gpus;
+  config.sjf = sjf;
+  ServerlessLlmCluster cluster(config, registry, GpuSpec::H800());
+  return cluster.Run(trace);
+}
+
+inline RunMetrics RunMux(const ModelRegistry& registry, const std::vector<ArrivalEvent>& trace,
+                         int gpus = 16) {
+  MuxServeConfig config;
+  config.gpus = gpus;
+  MuxServeCluster cluster(config, registry, GpuSpec::H800());
+  return cluster.Run(trace);
+}
+
+// Runs all four systems on the same trace, returning SLO attainments.
+inline E2eResult RunAllSystems(const ModelRegistry& registry,
+                               const std::vector<ArrivalEvent>& trace) {
+  E2eResult result;
+  result.aegaeon = RunAegaeon(registry, trace).SloAttainment();
+  result.serverless = RunServerless(registry, trace, /*sjf=*/false).SloAttainment();
+  result.serverless_plus = RunServerless(registry, trace, /*sjf=*/true).SloAttainment();
+  result.muxserve = RunMux(registry, trace).SloAttainment();
+  return result;
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+inline void PrintE2eRow(double x, const E2eResult& r, const char* x_name) {
+  std::printf("%-18s %6.2f | Aegaeon %6.1f%% | ServerlessLLM %6.1f%% | "
+              "ServerlessLLM+ %6.1f%% | MuxServe %6.1f%%\n",
+              x_name, x, r.aegaeon * 100.0, r.serverless * 100.0, r.serverless_plus * 100.0,
+              r.muxserve * 100.0);
+}
+
+// Largest x meeting the 90% overall SLO requirement (the paper's vertical
+// goodput lines); -1 when no point qualifies.
+inline double MaxLoadMeeting90(const std::vector<double>& xs,
+                               const std::vector<double>& attainment) {
+  double best = -1.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    if (attainment[i] >= 0.90) {
+      best = xs[i] > best ? xs[i] : best;
+    }
+  }
+  return best;
+}
+
+}  // namespace aegaeon_bench
+
+#endif  // AEGAEON_BENCH_E2E_COMMON_H_

@@ -1,0 +1,74 @@
+// Capacity planner: the operator's question behind §7.5 — "how many GPUs do
+// I need for this market?" Binary-searches the smallest Aegaeon pool (at a
+// fixed 3:5 prefill:decode ratio) meeting a 90% token-level SLO target for
+// a given market and load, and compares against dedicated reservation.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/cluster.h"
+#include "hw/gpu_spec.h"
+#include "model/registry.h"
+#include "workload/dataset.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace aegaeon;
+
+// Attainment of an Aegaeon pool with `units` instance pairs (3:5 ratio).
+double PoolAttainment(int prefill, int decode, const ModelRegistry& registry,
+                      const std::vector<ArrivalEvent>& trace) {
+  AegaeonConfig config;
+  config.prefill_instances = prefill;
+  config.decode_instances = decode;
+  AegaeonCluster cluster(config, registry, GpuSpec::H800());
+  return cluster.Run(trace).SloAttainment();
+}
+
+}  // namespace
+
+int main() {
+  const double kHorizon = 240.0;
+  const double kTarget = 0.90;
+
+  std::printf("=== Aegaeon capacity planner (target: %.0f%% token SLO attainment) ===\n\n",
+              kTarget * 100.0);
+  std::printf("%-8s %-10s %-22s %-12s %-10s\n", "models", "rps/model", "Aegaeon pool (P+D)",
+              "GPUs", "dedicated");
+
+  for (int models : {16, 32, 48, 64}) {
+    ModelRegistry registry = ModelRegistry::MidSizeMarket(models);
+    auto trace =
+        GeneratePoisson(registry, 0.1, kHorizon, Dataset::ShareGpt(), /*seed=*/2025);
+
+    // Grow the pool (3:5 prefill:decode) until the target is met.
+    int best_prefill = -1;
+    int best_decode = -1;
+    double best_attainment = 0.0;
+    for (int scale = 1; scale <= 4; ++scale) {
+      int prefill = 3 * scale;
+      int decode = 5 * scale;
+      double attainment = PoolAttainment(prefill, decode, registry, trace);
+      if (attainment >= kTarget) {
+        best_prefill = prefill;
+        best_decode = decode;
+        best_attainment = attainment;
+        break;
+      }
+    }
+    if (best_prefill < 0) {
+      std::printf("%-8d %-10.1f %-22s %-12s %-10d\n", models, 0.1, "> 12+20 (not met)", "-",
+                  models);
+      continue;
+    }
+    char pool[32];
+    std::snprintf(pool, sizeof(pool), "%d+%d (%.1f%%)", best_prefill, best_decode,
+                  best_attainment * 100.0);
+    std::printf("%-8d %-10.1f %-22s %-12d %-10d\n", models, 0.1, pool,
+                best_prefill + best_decode, models);
+  }
+  std::printf("\n(\"dedicated\" = one GPU per model, the pre-Aegaeon baseline; the pool\n"
+              "column shows prefill+decode instances at the paper's 3:5 split)\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+#include "analysis/metrics.h"
+
+namespace aegaeon {
+
+LatencyBreakdown& LatencyBreakdown::operator+=(const LatencyBreakdown& other) {
+  prefill_wait += other.prefill_wait;
+  prefill_exec += other.prefill_exec;
+  decode_wait += other.decode_wait;
+  decode_exec += other.decode_exec;
+  control_overhead += other.control_overhead;
+  data_overhead += other.data_overhead;
+  return *this;
+}
+
+void FillDecodeWaits(std::vector<Request>& requests) {
+  for (Request& r : requests) {
+    if (r.finished() && r.first_token_time != kTimeUnset && r.decode_wait == 0.0) {
+      double wait = (r.completion - r.first_token_time) - r.decode_exec;
+      r.decode_wait = wait > 0.0 ? wait : 0.0;
+    }
+  }
+}
+
+RunMetrics FoldRequests(const std::vector<Request>& requests, Duration horizon) {
+  RunMetrics metrics;
+  metrics.horizon = horizon;
+  for (const Request& r : requests) {
+    metrics.total_requests++;
+    metrics.tokens_total += r.output_tokens;
+    metrics.tokens_met += r.tokens_met;
+    if (r.finished()) {
+      metrics.completed_requests++;
+      metrics.request_latency_samples.push_back(r.completion - r.arrival);
+    } else if (r.generated < r.output_tokens && r.tokens_met > r.generated) {
+      // Defensive: met count can never exceed generated tokens.
+      metrics.tokens_met -= (r.tokens_met - r.generated);
+    }
+    if (r.first_token_time != kTimeUnset) {
+      metrics.ttft_samples.push_back(r.first_token_time - r.arrival);
+    }
+    metrics.breakdown.prefill_wait += r.prefill_wait;
+    metrics.breakdown.prefill_exec += r.prefill_exec;
+    metrics.breakdown.decode_wait += r.decode_wait;
+    metrics.breakdown.decode_exec += r.decode_exec;
+    metrics.breakdown.control_overhead += r.control_overhead;
+    metrics.breakdown.data_overhead += r.data_overhead;
+    metrics.kv_sync_samples.push_back(r.data_overhead + r.control_overhead);
+  }
+  return metrics;
+}
+
+}  // namespace aegaeon

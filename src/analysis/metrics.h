@@ -1,0 +1,69 @@
+// Run-level metrics: token-level SLO attainment (§2.1), the request latency
+// breakdown of Figure 14, and the latency samples behind Figure 15.
+
+#ifndef AEGAEON_ANALYSIS_METRICS_H_
+#define AEGAEON_ANALYSIS_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/request.h"
+#include "sim/time.h"
+
+namespace aegaeon {
+
+struct LatencyBreakdown {
+  Duration prefill_wait = 0.0;
+  Duration prefill_exec = 0.0;
+  Duration decode_wait = 0.0;
+  Duration decode_exec = 0.0;
+  Duration control_overhead = 0.0;
+  Duration data_overhead = 0.0;
+
+  Duration Total() const {
+    return prefill_wait + prefill_exec + decode_wait + decode_exec + control_overhead +
+           data_overhead;
+  }
+
+  LatencyBreakdown& operator+=(const LatencyBreakdown& other);
+};
+
+struct RunMetrics {
+  uint64_t total_requests = 0;
+  uint64_t completed_requests = 0;
+  int64_t tokens_total = 0;
+  int64_t tokens_met = 0;
+  Duration horizon = 0.0;  // simulated makespan
+
+  LatencyBreakdown breakdown;
+
+  std::vector<double> ttft_samples;
+  std::vector<double> request_latency_samples;
+  std::vector<double> switch_latency_samples;   // Figure 15 (left)
+  std::vector<double> kv_sync_samples;          // Figure 15 (right)
+
+  // Token-level SLO attainment in [0, 1]; requests that never produced a
+  // token count all their tokens as missed.
+  double SloAttainment() const {
+    return tokens_total == 0 ? 1.0 : static_cast<double>(tokens_met) / tokens_total;
+  }
+
+  // Completed requests per second over the makespan.
+  double Throughput() const {
+    return horizon <= 0.0 ? 0.0 : static_cast<double>(completed_requests) / horizon;
+  }
+};
+
+// Folds per-request records into run metrics. `horizon` is the simulated
+// completion time of the run. Unfinished requests contribute their
+// never-generated tokens as SLO misses (they were due by the horizon).
+RunMetrics FoldRequests(const std::vector<Request>& requests, Duration horizon);
+
+// Derives decode_wait for completed requests as (completion - first token)
+// minus decode execution, for systems that don't track waits inline (the
+// baseline runners).
+void FillDecodeWaits(std::vector<Request>& requests);
+
+}  // namespace aegaeon
+
+#endif  // AEGAEON_ANALYSIS_METRICS_H_

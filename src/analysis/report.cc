@@ -1,0 +1,73 @@
+#include "analysis/report.h"
+
+#include <map>
+#include <ostream>
+
+#include "analysis/stats.h"
+#include "analysis/table.h"
+
+namespace aegaeon {
+
+std::vector<ModelReport> BuildPerModelReport(const std::vector<Request>& requests,
+                                             const ModelRegistry& registry) {
+  std::map<ModelId, ModelReport> by_model;
+  std::map<ModelId, std::vector<double>> ttfts;
+  for (const Request& r : requests) {
+    ModelReport& report = by_model[r.model];
+    if (report.requests == 0) {
+      report.id = r.model;
+      report.name = registry.Get(r.model).spec.name;
+    }
+    report.requests++;
+    report.completed += r.finished() ? 1 : 0;
+    report.tokens_total += r.output_tokens;
+    report.tokens_met += r.tokens_met;
+    if (r.first_token_time != kTimeUnset) {
+      ttfts[r.model].push_back(r.first_token_time - r.arrival);
+    }
+  }
+  std::vector<ModelReport> rows;
+  rows.reserve(by_model.size());
+  for (auto& [id, report] : by_model) {
+    report.mean_ttft = Mean(ttfts[id]);
+    report.p99_ttft = Percentile(ttfts[id], 99);
+    rows.push_back(std::move(report));
+  }
+  return rows;
+}
+
+void PrintPerModelReport(std::ostream& os, const std::vector<ModelReport>& report) {
+  Table table({"model", "requests", "completed", "SLO attain", "mean TTFT", "p99 TTFT"});
+  for (const ModelReport& row : report) {
+    table.AddRow({row.name, std::to_string(row.requests), std::to_string(row.completed),
+                  Table::Pct(row.Attainment()), Table::Num(row.mean_ttft, 3) + "s",
+                  Table::Num(row.p99_ttft, 3) + "s"});
+  }
+  table.Print(os);
+}
+
+void WriteMetricsJson(std::ostream& os, const RunMetrics& metrics) {
+  os.precision(6);
+  os << "{"
+     << "\"total_requests\":" << metrics.total_requests << ","
+     << "\"completed_requests\":" << metrics.completed_requests << ","
+     << "\"tokens_total\":" << metrics.tokens_total << ","
+     << "\"tokens_met\":" << metrics.tokens_met << ","
+     << "\"slo_attainment\":" << metrics.SloAttainment() << ","
+     << "\"throughput_rps\":" << metrics.Throughput() << ","
+     << "\"horizon_s\":" << metrics.horizon << ","
+     << "\"ttft_mean_s\":" << Mean(metrics.ttft_samples) << ","
+     << "\"ttft_p99_s\":"
+     << Percentile(metrics.ttft_samples, 99) << ","
+     << "\"switches\":" << metrics.switch_latency_samples.size() << ","
+     << "\"switch_mean_s\":" << Mean(metrics.switch_latency_samples) << ","
+     << "\"breakdown\":{"
+     << "\"prefill_wait_s\":" << metrics.breakdown.prefill_wait << ","
+     << "\"prefill_exec_s\":" << metrics.breakdown.prefill_exec << ","
+     << "\"decode_wait_s\":" << metrics.breakdown.decode_wait << ","
+     << "\"decode_exec_s\":" << metrics.breakdown.decode_exec << ","
+     << "\"control_overhead_s\":" << metrics.breakdown.control_overhead << ","
+     << "\"data_overhead_s\":" << metrics.breakdown.data_overhead << "}}";
+}
+
+}  // namespace aegaeon

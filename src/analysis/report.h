@@ -1,0 +1,46 @@
+// Per-model quality reports and machine-readable (JSON) metric export —
+// the operator-facing view of a run (every model on the market has its own
+// SLO story, not just the aggregate).
+
+#ifndef AEGAEON_ANALYSIS_REPORT_H_
+#define AEGAEON_ANALYSIS_REPORT_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analysis/metrics.h"
+#include "core/request.h"
+#include "model/registry.h"
+
+namespace aegaeon {
+
+struct ModelReport {
+  ModelId id = kInvalidModel;
+  std::string name;
+  uint64_t requests = 0;
+  uint64_t completed = 0;
+  int64_t tokens_total = 0;
+  int64_t tokens_met = 0;
+  double mean_ttft = 0.0;
+  double p99_ttft = 0.0;
+
+  double Attainment() const {
+    return tokens_total == 0 ? 1.0 : static_cast<double>(tokens_met) / tokens_total;
+  }
+};
+
+// One report row per model that received at least one request, ordered by
+// model id.
+std::vector<ModelReport> BuildPerModelReport(const std::vector<Request>& requests,
+                                             const ModelRegistry& registry);
+
+// Aligned table of the per-model report.
+void PrintPerModelReport(std::ostream& os, const std::vector<ModelReport>& report);
+
+// Flat JSON object with the run's headline metrics (for dashboards/CI).
+void WriteMetricsJson(std::ostream& os, const RunMetrics& metrics);
+
+}  // namespace aegaeon
+
+#endif  // AEGAEON_ANALYSIS_REPORT_H_

@@ -1,0 +1,52 @@
+#include "analysis/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aegaeon {
+
+double Percentile(std::vector<double> values, double pct) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  std::sort(values.begin(), values.end());
+  double rank = pct / 100.0 * (values.size() - 1);
+  size_t lo = static_cast<size_t>(std::floor(rank));
+  size_t hi = static_cast<size_t>(std::ceil(rank));
+  double frac = rank - lo;
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+  }
+  return sum / values.size();
+}
+
+std::vector<CdfPoint> BuildCdf(std::vector<double> values, int points) {
+  std::vector<CdfPoint> cdf;
+  if (values.empty() || points <= 0) {
+    return cdf;
+  }
+  std::sort(values.begin(), values.end());
+  cdf.reserve(points);
+  for (int i = 1; i <= points; ++i) {
+    double fraction = static_cast<double>(i) / points;
+    size_t index = std::min(values.size() - 1,
+                            static_cast<size_t>(fraction * values.size()) - (i == points ? 1 : 0));
+    if (fraction * values.size() >= 1.0) {
+      index = static_cast<size_t>(fraction * values.size()) - 1;
+    } else {
+      index = 0;
+    }
+    cdf.push_back(CdfPoint{values[index], fraction});
+  }
+  return cdf;
+}
+
+}  // namespace aegaeon

@@ -1,0 +1,26 @@
+// Small statistics helpers: percentiles and CDF series for the paper's
+// figure reproductions.
+
+#ifndef AEGAEON_ANALYSIS_STATS_H_
+#define AEGAEON_ANALYSIS_STATS_H_
+
+#include <vector>
+
+namespace aegaeon {
+
+// Percentile in [0, 100] by linear interpolation; 0 on empty input.
+double Percentile(std::vector<double> values, double pct);
+
+double Mean(const std::vector<double>& values);
+
+// Evenly spaced CDF points (x = value, y = cumulative fraction) suitable
+// for printing a figure series. Returns up to `points` samples.
+struct CdfPoint {
+  double value;
+  double fraction;
+};
+std::vector<CdfPoint> BuildCdf(std::vector<double> values, int points = 20);
+
+}  // namespace aegaeon
+
+#endif  // AEGAEON_ANALYSIS_STATS_H_

@@ -1,0 +1,36 @@
+// Paper-style output: simple aligned ASCII tables and figure series for the
+// bench binaries.
+
+#ifndef AEGAEON_ANALYSIS_TABLE_H_
+#define AEGAEON_ANALYSIS_TABLE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace aegaeon {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with `precision` decimals.
+  static std::string Num(double value, int precision = 2);
+  static std::string Pct(double fraction, int precision = 1);
+
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Prints "name: x1 y1 | x2 y2 | ..." series lines for figure output.
+void PrintSeries(std::ostream& os, const std::string& name, const std::vector<double>& xs,
+                 const std::vector<double>& ys, int precision = 3);
+
+}  // namespace aegaeon
+
+#endif  // AEGAEON_ANALYSIS_TABLE_H_

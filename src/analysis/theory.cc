@@ -1,0 +1,56 @@
+#include "analysis/theory.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/random.h"
+
+namespace aegaeon {
+
+double ExpectedActiveModels(int models, double lambda, double service_time) {
+  return models * (1.0 - std::exp(-lambda * service_time));
+}
+
+ActiveModelTrace SimulateActiveModels(int models, double lambda, double service_time,
+                                      double horizon, double sample_interval, uint64_t seed,
+                                      double warmup) {
+  // For each model, collect busy intervals [t, t+T) and flatten them into a
+  // per-model "busy until" timeline; then sample the union.
+  std::vector<std::vector<double>> arrivals(models);
+  for (int m = 0; m < models; ++m) {
+    PoissonProcess process(lambda, seed + static_cast<uint64_t>(m) * 40503 + 1);
+    arrivals[m] = process.ArrivalsUntil(horizon);
+  }
+
+  ActiveModelTrace trace;
+  double active_sum = 0.0;
+  size_t samples = 0;
+  // Per-model cursor over its (sorted) arrivals and the time its current
+  // busy period ends.
+  std::vector<size_t> cursor(models, 0);
+  std::vector<double> busy_until(models, -1.0);
+  for (double t = warmup; t < horizon; t += sample_interval) {
+    int active = 0;
+    for (int m = 0; m < models; ++m) {
+      // Advance through arrivals no later than t, extending the busy period.
+      while (cursor[m] < arrivals[m].size() && arrivals[m][cursor[m]] <= t) {
+        // A model is active while it has >= 1 request in service; requests
+        // are served concurrently in a batch, so the busy period ends
+        // `service_time` after the latest arrival in it.
+        busy_until[m] = std::max(busy_until[m], arrivals[m][cursor[m]] + service_time);
+        cursor[m]++;
+      }
+      if (busy_until[m] > t) {
+        active++;
+      }
+    }
+    trace.sample_times.push_back(t);
+    trace.active_counts.push_back(active);
+    active_sum += active;
+    samples++;
+  }
+  trace.mean = samples == 0 ? 0.0 : active_sum / static_cast<double>(samples);
+  return trace;
+}
+
+}  // namespace aegaeon

@@ -1,0 +1,31 @@
+// Theorem 3.1 and its simulation counterpart (§3.1, Figure 4): the expected
+// active model count under per-model Poisson arrivals with rate lambda and
+// mean service time T is E[m] = M * (1 - e^(-lambda*T)).
+
+#ifndef AEGAEON_ANALYSIS_THEORY_H_
+#define AEGAEON_ANALYSIS_THEORY_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace aegaeon {
+
+// Closed form of Theorem 3.1.
+double ExpectedActiveModels(int models, double lambda, double service_time);
+
+// Simulates the active-model-count process: M independent Poisson arrival
+// streams, each request keeping its model "active" for `service_time`
+// seconds. Returns the count sampled every `sample_interval` seconds over
+// [warmup, horizon) (warmup lets the process reach steady state).
+struct ActiveModelTrace {
+  std::vector<double> sample_times;
+  std::vector<int> active_counts;
+  double mean = 0.0;
+};
+ActiveModelTrace SimulateActiveModels(int models, double lambda, double service_time,
+                                      double horizon, double sample_interval, uint64_t seed,
+                                      double warmup = 0.0);
+
+}  // namespace aegaeon
+
+#endif  // AEGAEON_ANALYSIS_THEORY_H_

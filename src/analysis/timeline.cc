@@ -1,0 +1,63 @@
+#include "analysis/timeline.h"
+
+#include <fstream>
+#include <ostream>
+
+namespace aegaeon {
+namespace {
+
+// Minimal JSON string escaping for names we generate ourselves.
+void WriteEscaped(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      default:
+        os << c;
+    }
+  }
+}
+
+}  // namespace
+
+void TimelineRecorder::Record(int lane, std::string category, std::string name, TimePoint start,
+                              Duration duration) {
+  spans_.push_back(Span{lane, std::move(category), std::move(name), start, duration});
+}
+
+void TimelineRecorder::WriteChromeTrace(std::ostream& os) const {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const Span& span : spans_) {
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+    os << "{\"name\":\"";
+    WriteEscaped(os, span.name);
+    os << "\",\"cat\":\"";
+    WriteEscaped(os, span.category);
+    os << "\",\"ph\":\"X\",\"ts\":" << static_cast<int64_t>(span.start * 1e6)
+       << ",\"dur\":" << static_cast<int64_t>(span.duration * 1e6)
+       << ",\"pid\":0,\"tid\":" << span.lane << "}";
+  }
+  os << "]}";
+}
+
+bool TimelineRecorder::WriteChromeTraceFile(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) {
+    return false;
+  }
+  WriteChromeTrace(file);
+  return static_cast<bool>(file);
+}
+
+}  // namespace aegaeon

@@ -1,0 +1,45 @@
+// Execution timeline recording, exportable as a Chrome trace
+// (chrome://tracing / Perfetto "traceEvents" JSON). Lanes are serving
+// instances; spans are prefills, decode turns, model switches, and KV
+// transfers — the visual counterpart of Figure 2(b)'s schedule.
+
+#ifndef AEGAEON_ANALYSIS_TIMELINE_H_
+#define AEGAEON_ANALYSIS_TIMELINE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace aegaeon {
+
+class TimelineRecorder {
+ public:
+  struct Span {
+    int lane = 0;            // instance index (tid in the trace)
+    std::string category;    // "prefill", "decode", "switch", "kv"
+    std::string name;        // e.g. model name or request id
+    TimePoint start = 0.0;
+    Duration duration = 0.0;
+  };
+
+  void Record(int lane, std::string category, std::string name, TimePoint start,
+              Duration duration);
+
+  size_t size() const { return spans_.size(); }
+  const std::vector<Span>& spans() const { return spans_; }
+  void Clear() { spans_.clear(); }
+
+  // Chrome trace "traceEvents" JSON (complete events, microsecond units).
+  void WriteChromeTrace(std::ostream& os) const;
+  bool WriteChromeTraceFile(const std::string& path) const;
+
+ private:
+  std::vector<Span> spans_;
+};
+
+}  // namespace aegaeon
+
+#endif  // AEGAEON_ANALYSIS_TIMELINE_H_

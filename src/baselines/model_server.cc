@@ -1,0 +1,114 @@
+#include "baselines/model_server.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aegaeon {
+
+ModelServer::ModelServer(const DeployedModel* model, const LatencyModel* latency, int max_batch)
+    : model_(model), latency_(latency), max_batch_(max_batch) {
+  assert(model_ != nullptr && latency_ != nullptr && max_batch_ > 0);
+}
+
+void ModelServer::Enqueue(Request* request) {
+  assert(request->model == model_->id);
+  waiting_.push_back(request);
+}
+
+Duration ModelServer::EstimatedWork() const {
+  Duration total = 0.0;
+  auto estimate = [this](const Request* r) {
+    Duration prefill =
+        r->generated == 0 ? latency_->PrefillOne(model_->spec, model_->tp, r->prompt_tokens) : 0.0;
+    Duration step = latency_->DecodeStep(model_->spec, model_->tp, r->context_tokens());
+    return prefill + step * static_cast<double>(r->remaining_tokens());
+  };
+  for (const Request* r : waiting_) {
+    total += estimate(r);
+  }
+  for (const Request* r : batch_) {
+    total += estimate(r);
+  }
+  return total;
+}
+
+void ModelServer::EmitToken(Request* request, TimePoint t) {
+  const SloSpec& slo = model_->slo;
+  if (t <= slo.DeadlineFor(request->arrival, request->generated)) {
+    request->tokens_met++;
+  }
+  if (request->generated == 0) {
+    request->first_token_time = t;
+    request->last_progress = t;
+  }
+  request->generated++;
+}
+
+void ModelServer::FinishRequest(Request* request, TimePoint t) {
+  request->completion = t;
+  request->phase = RequestPhase::kDone;
+}
+
+Duration ModelServer::RunSlice(TimePoint start, Duration quantum, double slowdown) {
+  assert(slowdown >= 1.0);
+  TimePoint t = start;
+  Duration used = 0.0;
+
+  while (used < quantum) {
+    // Continuous batching: admit waiting requests while capacity remains.
+    while (static_cast<int>(batch_.size()) < max_batch_ && !waiting_.empty()) {
+      batch_.push_back(waiting_.front());
+      waiting_.pop_front();
+    }
+    if (batch_.empty()) {
+      break;
+    }
+
+    // Prefill takes precedence (a batch member with no tokens yet).
+    Request* to_prefill = nullptr;
+    for (Request* r : batch_) {
+      if (r->generated == 0) {
+        to_prefill = r;
+        break;
+      }
+    }
+    if (to_prefill != nullptr) {
+      Duration dur =
+          latency_->PrefillOne(model_->spec, model_->tp, to_prefill->prompt_tokens) * slowdown;
+      to_prefill->prefill_start = t;
+      to_prefill->prefill_wait = t - to_prefill->arrival;
+      to_prefill->prefill_exec = dur;
+      t += dur;
+      used += dur;
+      EmitToken(to_prefill, t);
+      if (to_prefill->finished()) {
+        FinishRequest(to_prefill, t);
+        batch_.erase(std::find(batch_.begin(), batch_.end(), to_prefill));
+      }
+      continue;
+    }
+
+    // One decode step for the whole batch.
+    int64_t ctx = 0;
+    for (const Request* r : batch_) {
+      ctx += r->context_tokens();
+    }
+    Duration step = latency_->DecodeStep(model_->spec, model_->tp, ctx) * slowdown;
+    t += step;
+    used += step;
+    for (auto it = batch_.begin(); it != batch_.end();) {
+      Request* r = *it;
+      EmitToken(r, t);
+      r->decode_exec += step;
+      if (r->finished()) {
+        FinishRequest(r, t);
+        it = batch_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return used;
+}
+
+}  // namespace aegaeon

@@ -1,0 +1,63 @@
+// A single-model vLLM-style server with continuous batching, used as the
+// building block of the baseline systems (ServerlessLLM, MuxServe, and
+// dedicated serving). It prefills waiting requests one at a time, decodes
+// the running batch step by step, and admits newcomers between steps
+// (continuous batching, Orca-style).
+//
+// Execution is *sliced*: callers hand the server the GPU for up to a
+// quantum of time; the server runs whole prefills/steps and reports the
+// time actually consumed, recording per-token SLO outcomes on the requests.
+
+#ifndef AEGAEON_BASELINES_MODEL_SERVER_H_
+#define AEGAEON_BASELINES_MODEL_SERVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/request.h"
+#include "model/latency_model.h"
+#include "model/registry.h"
+#include "sim/time.h"
+
+namespace aegaeon {
+
+class ModelServer {
+ public:
+  ModelServer(const DeployedModel* model, const LatencyModel* latency, int max_batch);
+
+  // Adds a request to the waiting queue (it will be prefilled when the
+  // server next holds the GPU and batch capacity allows).
+  void Enqueue(Request* request);
+
+  bool HasWork() const { return !waiting_.empty() || !batch_.empty(); }
+  size_t waiting() const { return waiting_.size(); }
+  size_t batch_size() const { return batch_.size(); }
+  const DeployedModel* model() const { return model_; }
+
+  // Estimated service time remaining across queue and batch (for SJF and
+  // load balancing). Uses oracle output lengths, like ServerlessLLM+.
+  Duration EstimatedWork() const;
+
+  // Runs on the GPU from `start` for at most `quantum` seconds, with all
+  // execution times multiplied by `slowdown` (spatial-sharing penalty).
+  // Prefills and decode steps are atomic: the first operation always runs
+  // even if it overshoots the quantum. Returns the time consumed (0 only
+  // if there is no work).
+  Duration RunSlice(TimePoint start, Duration quantum, double slowdown = 1.0);
+
+ private:
+  // Records one generated token for `r` at `t`.
+  void EmitToken(Request* request, TimePoint t);
+  void FinishRequest(Request* request, TimePoint t);
+
+  const DeployedModel* model_;
+  const LatencyModel* latency_;
+  int max_batch_;
+  std::deque<Request*> waiting_;
+  std::vector<Request*> batch_;
+};
+
+}  // namespace aegaeon
+
+#endif  // AEGAEON_BASELINES_MODEL_SERVER_H_

@@ -1,0 +1,79 @@
+#include "core/oracle_scheduler.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace aegaeon {
+
+double PeriodicAttainment(const std::vector<OracleBatch>& batches,
+                          const std::vector<Duration>& quotas) {
+  assert(batches.size() == quotas.size());
+  if (batches.empty()) {
+    return 1.0;
+  }
+  Duration round = 0.0;
+  for (size_t k = 0; k < batches.size(); ++k) {
+    round += quotas[k] + batches[k].switch_cost;
+  }
+  if (round <= 0.0) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (size_t k = 0; k < batches.size(); ++k) {
+    double tokens_per_round = std::floor(quotas[k] / batches[k].step_time);
+    double ratio = tokens_per_round * batches[k].tbt / round;
+    total += ratio < 1.0 ? ratio : 1.0;
+  }
+  return total / static_cast<double>(batches.size());
+}
+
+OracleResult GridSearchQuotas(const std::vector<OracleBatch>& batches,
+                              const std::vector<Duration>& grid) {
+  OracleResult best;
+  const size_t k = batches.size();
+  if (k == 0 || grid.empty()) {
+    best.attainment = 1.0;
+    return best;
+  }
+  std::vector<size_t> index(k, 0);
+  std::vector<Duration> quotas(k, grid[0]);
+  for (;;) {
+    for (size_t i = 0; i < k; ++i) {
+      quotas[i] = grid[index[i]];
+    }
+    double attainment = PeriodicAttainment(batches, quotas);
+    best.evaluated++;
+    if (attainment > best.attainment) {
+      best.attainment = attainment;
+      best.quotas = quotas;
+    }
+    // Odometer increment.
+    size_t pos = 0;
+    while (pos < k) {
+      if (++index[pos] < grid.size()) {
+        break;
+      }
+      index[pos] = 0;
+      ++pos;
+    }
+    if (pos == k) {
+      break;
+    }
+  }
+  return best;
+}
+
+std::vector<Duration> GeometricGrid(Duration lo, Duration hi, int points) {
+  assert(lo > 0.0 && hi > lo && points >= 2);
+  std::vector<Duration> grid;
+  grid.reserve(points);
+  double ratio = std::pow(hi / lo, 1.0 / (points - 1));
+  double value = lo;
+  for (int i = 0; i < points; ++i) {
+    grid.push_back(value);
+    value *= ratio;
+  }
+  return grid;
+}
+
+}  // namespace aegaeon

@@ -1,0 +1,56 @@
+// Offline oracle for decoding-phase quota schedules.
+//
+// §4.1 notes that optimally scheduling token generation with auto-scaling is
+// an ILP that cannot be solved in real time; Algorithm 2 is the closed-form
+// heuristic. This module provides the small-instance ground truth: for a
+// work list of batches (step time, TBT target, switch cost each), it
+// evaluates the steady-state SLO attainment of any periodic quota assignment
+// analytically, and grid-searches the quota space for the best one. Tests
+// use it to show the Eq. 2-3 quotas are near-optimal within the periodic
+// round-robin family.
+
+#ifndef AEGAEON_CORE_ORACLE_SCHEDULER_H_
+#define AEGAEON_CORE_ORACLE_SCHEDULER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace aegaeon {
+
+struct OracleBatch {
+  Duration step_time = 0.02;   // t_k
+  Duration tbt = 0.1;          // d_k
+  Duration switch_cost = 0.5;  // auto-scaling cost paid when rotating in
+};
+
+// Steady-state token SLO attainment of the periodic schedule that gives
+// batch k a contiguous quota of quotas[k] per round (round-robin order,
+// each rotation paying the batch's switch cost). With output buffering, a
+// batch's long-run attainment is the ratio of its token emission rate to
+// its deadline rate, capped at 1:
+//   attainment_k = min(1, floor(q_k/t_k) * d_k / R),  R = sum_i (q_i + c_i)
+// The returned value is the token-weighted mean across batches (all batches
+// weighted equally, matching Algorithm 2's uniform-batch analysis).
+double PeriodicAttainment(const std::vector<OracleBatch>& batches,
+                          const std::vector<Duration>& quotas);
+
+struct OracleResult {
+  std::vector<Duration> quotas;
+  double attainment = 0.0;
+  uint64_t evaluated = 0;  // schedules examined
+};
+
+// Exhaustive grid search over per-batch quotas drawn from `grid` (all
+// combinations; grid.size()^batches evaluations). Feasible for <= ~5
+// batches with a dozen grid points.
+OracleResult GridSearchQuotas(const std::vector<OracleBatch>& batches,
+                              const std::vector<Duration>& grid);
+
+// Convenience: a geometric grid of `points` quotas in [lo, hi].
+std::vector<Duration> GeometricGrid(Duration lo, Duration hi, int points);
+
+}  // namespace aegaeon
+
+#endif  // AEGAEON_CORE_ORACLE_SCHEDULER_H_

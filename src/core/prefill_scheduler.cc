@@ -1,0 +1,142 @@
+#include "core/prefill_scheduler.h"
+
+#include <cassert>
+#include <limits>
+#include <utility>
+
+namespace aegaeon {
+
+PrefillScheduler::PrefillScheduler(int instances, int max_group_size, Estimators estimators)
+    : max_group_size_(max_group_size), est_(std::move(estimators)) {
+  assert(instances > 0);
+  queues_.resize(instances);
+}
+
+Duration PrefillScheduler::LoadEstimate(int i) const {
+  const InstanceQueue& queue = queues_[i];
+  Duration load = 0.0;
+  ModelId previous = est_.current_model(i);
+  for (const Group& group : queue.groups) {
+    if (group.model != previous) {
+      load += est_.switch_estimate(previous, group.model);
+      previous = group.model;
+    }
+    for (const Request* request : group.pending) {
+      load += est_.exec_estimate(*request);
+    }
+  }
+  return load;
+}
+
+int PrefillScheduler::OnArrival(Request* request) {
+  // Lines 4-8: prioritize an existing group for this model with room left.
+  for (size_t i = 0; i < queues_.size(); ++i) {
+    if (!queues_[i].available) {
+      continue;
+    }
+    for (Group& group : queues_[i].groups) {
+      if (group.model == request->model && group.accumulated < max_group_size_) {
+        group.pending.push_back(request);
+        group.accumulated++;
+        return static_cast<int>(i);
+      }
+    }
+  }
+  // Lines 9-13: new group on the least loaded available instance.
+  int best = 0;
+  Duration min_load = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < queues_.size(); ++i) {
+    if (!queues_[i].available) {
+      continue;
+    }
+    Duration load = LoadEstimate(static_cast<int>(i));
+    if (load < min_load) {
+      min_load = load;
+      best = static_cast<int>(i);
+    }
+  }
+  Group group;
+  group.model = request->model;
+  group.pending.push_back(request);
+  group.accumulated = 1;
+  queues_[best].groups.push_back(std::move(group));
+  return best;
+}
+
+Request* PrefillScheduler::NextJob(int i) {
+  InstanceQueue& queue = queues_[i];
+  while (!queue.groups.empty() && queue.groups.front().pending.empty()) {
+    queue.groups.pop_front();
+  }
+  if (queue.groups.empty()) {
+    return nullptr;
+  }
+  Group& front = queue.groups.front();
+  Request* request = front.pending.front();
+  front.pending.pop_front();
+  return request;
+}
+
+ModelId PrefillScheduler::UpcomingModel(int i) const {
+  const InstanceQueue& queue = queues_[i];
+  ModelId front_model = kInvalidModel;
+  for (const Group& group : queue.groups) {
+    if (group.pending.empty()) {
+      continue;
+    }
+    if (front_model == kInvalidModel) {
+      front_model = group.model;
+      continue;
+    }
+    if (group.model != front_model) {
+      return group.model;
+    }
+  }
+  return kInvalidModel;
+}
+
+void PrefillScheduler::SetAvailable(int i, bool available) {
+  queues_[i].available = available;
+}
+
+std::vector<Request*> PrefillScheduler::DrainQueue(int i) {
+  std::vector<Request*> drained;
+  for (Group& group : queues_[i].groups) {
+    drained.insert(drained.end(), group.pending.begin(), group.pending.end());
+  }
+  queues_[i].groups.clear();
+  return drained;
+}
+
+void PrefillScheduler::PushContinuation(int i, Request* request) {
+  Group group;
+  group.model = request->model;
+  group.pending.push_back(request);
+  group.accumulated = max_group_size_;  // no joins: this is a continuation
+  InstanceQueue& queue = queues_[i];
+  // Drop exhausted front groups so "behind the front" means behind real work.
+  while (!queue.groups.empty() && queue.groups.front().pending.empty()) {
+    queue.groups.pop_front();
+  }
+  auto pos = queue.groups.empty() ? queue.groups.begin() : std::next(queue.groups.begin());
+  queue.groups.insert(pos, std::move(group));
+}
+
+bool PrefillScheduler::HasWork(int i) const {
+  for (const Group& group : queues_[i].groups) {
+    if (!group.pending.empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t PrefillScheduler::QueuedRequests(int i) const {
+  size_t count = 0;
+  for (const Group& group : queues_[i].groups) {
+    count += group.pending.size();
+  }
+  return count;
+}
+
+}  // namespace aegaeon

@@ -1,0 +1,82 @@
+// An inference request and its recorded execution trace.
+
+#ifndef AEGAEON_CORE_REQUEST_H_
+#define AEGAEON_CORE_REQUEST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/slo.h"
+#include "kv/transfer_engine.h"
+#include "model/registry.h"
+#include "sim/time.h"
+
+namespace aegaeon {
+
+using RequestId = uint64_t;
+
+enum class RequestPhase {
+  kQueuedPrefill,
+  kPrefilling,
+  kQueuedDecode,
+  kDecoding,
+  kParked,  // preempted out of GPU KV (awaiting re-admission)
+  kDone,
+};
+
+struct Request {
+  RequestId id = 0;
+  ModelId model = kInvalidModel;
+  int64_t prompt_tokens = 0;
+  // Total generated tokens, including the first (prefill) token. In the
+  // simulator this is the oracle output length sampled from the dataset.
+  int64_t output_tokens = 1;
+  TimePoint arrival = 0.0;
+
+  RequestPhase phase = RequestPhase::kQueuedPrefill;
+
+  // --- Execution record -------------------------------------------------
+  TimePoint prefill_start = kTimeUnset;
+  TimePoint first_token_time = kTimeUnset;
+  TimePoint completion = kTimeUnset;
+  // Tokens generated so far (including the first token once prefilled).
+  int64_t generated = 0;
+  // Last time the request made decoding progress (used for wait accounting).
+  TimePoint last_progress = kTimeUnset;
+  // KV tokens billed against the decode unit's admission budget.
+  int64_t billed_kv_tokens = 0;
+  // Prompt tokens already processed (chunked prefill).
+  int64_t prefilled_tokens = 0;
+  // Per-token SLO accounting (§2.1): deadline of token k is
+  // arrival + TTFT + k*TBT; met/total counted as tokens are produced.
+  int64_t tokens_met = 0;
+
+  // --- Latency breakdown (Figure 14) -------------------------------------
+  Duration prefill_wait = 0.0;
+  Duration prefill_exec = 0.0;
+  Duration decode_wait = 0.0;
+  Duration decode_exec = 0.0;
+  Duration control_overhead = 0.0;
+  Duration data_overhead = 0.0;
+
+  // KV-cache state, managed by the serving system.
+  KvHandle kv;
+
+  int64_t remaining_tokens() const { return output_tokens - generated; }
+  bool finished() const { return generated >= output_tokens; }
+
+  // Total resident context length (prompt + generated so far).
+  int64_t context_tokens() const { return prompt_tokens + generated; }
+};
+
+// One arrival in a workload trace.
+struct ArrivalEvent {
+  TimePoint time = 0.0;
+  ModelId model = kInvalidModel;
+  int64_t prompt_tokens = 0;
+  int64_t output_tokens = 1;
+};
+
+}  // namespace aegaeon
+
+#endif  // AEGAEON_CORE_REQUEST_H_

@@ -1,0 +1,36 @@
+// Service-level objectives and per-token deadline accounting (§2.1, Fig. 3).
+//
+// SLO attainment is the percentage of token generation times that meet their
+// deadlines: token 0 (the first token) is due TTFT after arrival, and token
+// k > 0 is due TTFT + k*TBT after arrival. A delayed token does not shift
+// later deadlines — early tokens are buffered, which is exactly the slack
+// Aegaeon's decode scheduler exploits (§4.3).
+
+#ifndef AEGAEON_CORE_SLO_H_
+#define AEGAEON_CORE_SLO_H_
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace aegaeon {
+
+struct SloSpec {
+  Duration ttft = 10.0;   // Time-To-First-Token target
+  Duration tbt = 0.100;   // Time-Between-Tokens target
+
+  // The paper's production SLO (§7.1): 10 s TTFT, 100 ms TBT.
+  static SloSpec Chatbot() { return SloSpec{10.0, 0.100}; }
+
+  // Uniformly scaled SLO (Figure 13 uses 0.5x / 0.3x / 0.2x).
+  SloSpec Scaled(double factor) const { return SloSpec{ttft * factor, tbt * factor}; }
+
+  // Deadline of token `index` (0-based) for a request arriving at `arrival`.
+  TimePoint DeadlineFor(TimePoint arrival, int64_t index) const {
+    return arrival + ttft + static_cast<double>(index) * tbt;
+  }
+};
+
+}  // namespace aegaeon
+
+#endif  // AEGAEON_CORE_SLO_H_

@@ -1,0 +1,19 @@
+#include "hw/cuda_sim.h"
+
+#include <algorithm>
+
+namespace aegaeon {
+
+StreamSim::Span StreamSim::Enqueue(TimePoint now, Duration duration) {
+  TimePoint start = std::max(now, horizon_);
+  TimePoint end = start + std::max(duration, 0.0);
+  horizon_ = end;
+  busy_time_ += end - start;
+  return Span{start, end};
+}
+
+void StreamSim::WaitEvent(const EventSim& event) {
+  horizon_ = std::max(horizon_, event.complete_at());
+}
+
+}  // namespace aegaeon

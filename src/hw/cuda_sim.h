@@ -1,0 +1,84 @@
+// Simulated CUDA streams and events.
+//
+// These mirror the semantics of the five CUDA event APIs the paper relies on
+// (Table 2): cudaEventRecord, cudaEventQuery, cudaStreamWaitEvent, and the
+// two cudaIpc*EventHandle calls. A StreamSim is an in-order queue modeled by
+// its completion horizon; an EventSim captures the horizon of a stream at
+// record time. Events are value types (like CUDA's IPC-shared handles), so
+// "sharing an event across processes" is a copy.
+
+#ifndef AEGAEON_HW_CUDA_SIM_H_
+#define AEGAEON_HW_CUDA_SIM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.h"
+
+namespace aegaeon {
+
+// Completion marker for work submitted to a stream. A default-constructed
+// event is "already complete" (like a recorded-but-empty CUDA event).
+class EventSim {
+ public:
+  EventSim() = default;
+
+  // cudaEventQuery: has the captured work finished by `now`?
+  bool Query(TimePoint now) const { return now >= complete_at_; }
+
+  // Completion time of the captured work.
+  TimePoint complete_at() const { return complete_at_; }
+
+  // cudaIpcGetEventHandle / cudaIpcOpenEventHandle: events are shared by
+  // value; an IPC handle is just a copy of the event.
+  EventSim IpcHandle() const { return *this; }
+
+ private:
+  friend class StreamSim;
+  explicit EventSim(TimePoint complete_at) : complete_at_(complete_at) {}
+
+  TimePoint complete_at_ = 0.0;
+};
+
+// An in-order execution queue (compute stream, copy stream, ...).
+// Work enqueued at time `now` starts at max(now, horizon) and pushes the
+// horizon forward by its duration.
+class StreamSim {
+ public:
+  explicit StreamSim(std::string name) : name_(std::move(name)) {}
+
+  struct Span {
+    TimePoint start;
+    TimePoint end;
+  };
+
+  // Submits work of the given duration. Returns its execution span.
+  Span Enqueue(TimePoint now, Duration duration);
+
+  // cudaStreamWaitEvent: all future work waits for `event`.
+  void WaitEvent(const EventSim& event);
+
+  // cudaEventRecord: captures the completion of all work enqueued so far.
+  EventSim Record() const { return EventSim(horizon_); }
+
+  // Blocks (in simulated time) until the stream drains: returns the horizon.
+  TimePoint Synchronize() const { return horizon_; }
+
+  // True if all submitted work completes by `now`.
+  bool Idle(TimePoint now) const { return now >= horizon_; }
+
+  TimePoint horizon() const { return horizon_; }
+  const std::string& name() const { return name_; }
+
+  // Total busy time accumulated by this stream (for utilization reports).
+  Duration busy_time() const { return busy_time_; }
+
+ private:
+  std::string name_;
+  TimePoint horizon_ = 0.0;
+  Duration busy_time_ = 0.0;
+};
+
+}  // namespace aegaeon
+
+#endif  // AEGAEON_HW_CUDA_SIM_H_

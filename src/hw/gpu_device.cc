@@ -1,0 +1,48 @@
+#include "hw/gpu_device.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aegaeon {
+
+GpuDevice::GpuDevice(GpuId id, const GpuSpec& spec)
+    : id_(id),
+      spec_(spec),
+      link_(spec.pcie_bytes_per_s, spec.pcie_efficiency),
+      compute_("gpu" + std::to_string(id) + "/compute"),
+      kv_in_("gpu" + std::to_string(id) + "/kv_in"),
+      kv_out_("gpu" + std::to_string(id) + "/kv_out"),
+      prefetch_("gpu" + std::to_string(id) + "/prefetch") {}
+
+StreamSim::Span GpuDevice::EnqueueCopy(StreamSim& stream, TimePoint now, double bytes,
+                                       CopyDir dir, double effective_fraction,
+                                       TimePoint ready_after) {
+  // The copy occupies both the stream (in-order with prior work on it) and
+  // the link direction (serialized with other copies the same way).
+  TimePoint gate = std::max(ready_after, stream.horizon());
+  PcieLink::Span span = link_.Transfer(now, bytes, dir, effective_fraction, gate);
+  stream.Enqueue(span.start, span.end - span.start);
+  return StreamSim::Span{span.start, span.end};
+}
+
+StreamSim::Span GpuDevice::EnqueueOptimizedCopy(StreamSim& stream, TimePoint now, double bytes,
+                                                CopyDir dir, TimePoint ready_after) {
+  return EnqueueCopy(stream, now, bytes, dir, spec_.pcie_efficiency, ready_after);
+}
+
+bool GpuDevice::AllocVram(double bytes) {
+  assert(bytes >= 0.0);
+  if (vram_used_ + bytes > spec_.vram_bytes) {
+    return false;
+  }
+  vram_used_ += bytes;
+  vram_peak_ = std::max(vram_peak_, vram_used_);
+  return true;
+}
+
+void GpuDevice::FreeVram(double bytes) {
+  assert(bytes >= 0.0);
+  vram_used_ = std::max(0.0, vram_used_ - bytes);
+}
+
+}  // namespace aegaeon

@@ -1,0 +1,70 @@
+// A simulated GPU: VRAM accounting, a PCIe link to the host, and the four
+// streams Aegaeon uses (default/compute, KV-in, KV-out, prefetch — Figure 10).
+
+#ifndef AEGAEON_HW_GPU_DEVICE_H_
+#define AEGAEON_HW_GPU_DEVICE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "hw/cuda_sim.h"
+#include "hw/gpu_spec.h"
+#include "hw/pcie_link.h"
+#include "sim/time.h"
+
+namespace aegaeon {
+
+using GpuId = uint32_t;
+
+class GpuDevice {
+ public:
+  GpuDevice(GpuId id, const GpuSpec& spec);
+
+  GpuDevice(const GpuDevice&) = delete;
+  GpuDevice& operator=(const GpuDevice&) = delete;
+
+  GpuId id() const { return id_; }
+  const GpuSpec& spec() const { return spec_; }
+  PcieLink& link() { return link_; }
+
+  StreamSim& compute_stream() { return compute_; }
+  StreamSim& kv_in_stream() { return kv_in_; }
+  StreamSim& kv_out_stream() { return kv_out_; }
+  StreamSim& prefetch_stream() { return prefetch_; }
+
+  // Submits a host<->device copy on `stream`, also occupying the PCIe link.
+  // The copy starts no earlier than `ready_after` (e.g. an event dependency)
+  // and no earlier than the stream's current horizon.
+  StreamSim::Span EnqueueCopy(StreamSim& stream, TimePoint now, double bytes, CopyDir dir,
+                              double effective_fraction, TimePoint ready_after = 0.0);
+
+  // Convenience: copy at the optimized (stage-buffered) efficiency.
+  StreamSim::Span EnqueueOptimizedCopy(StreamSim& stream, TimePoint now, double bytes,
+                                       CopyDir dir, TimePoint ready_after = 0.0);
+
+  // --- VRAM accounting -------------------------------------------------
+  // Tracks logical occupancy; allocators in mem/ manage layout on top.
+
+  // Reserves `bytes`; returns false (and reserves nothing) on exhaustion.
+  bool AllocVram(double bytes);
+  void FreeVram(double bytes);
+
+  double vram_used() const { return vram_used_; }
+  double vram_free() const { return spec_.vram_bytes - vram_used_; }
+  double vram_peak() const { return vram_peak_; }
+
+ private:
+  GpuId id_;
+  GpuSpec spec_;
+  PcieLink link_;
+  StreamSim compute_;
+  StreamSim kv_in_;
+  StreamSim kv_out_;
+  StreamSim prefetch_;
+  double vram_used_ = 0.0;
+  double vram_peak_ = 0.0;
+};
+
+}  // namespace aegaeon
+
+#endif  // AEGAEON_HW_GPU_DEVICE_H_

@@ -1,0 +1,48 @@
+#include "hw/gpu_spec.h"
+
+namespace aegaeon {
+
+GpuSpec GpuSpec::H800() {
+  GpuSpec spec;
+  spec.name = "H800-80GB";
+  spec.vram_bytes = 80.0 * kGiB;
+  spec.peak_fp16_flops = 989e12;
+  spec.hbm_bytes_per_s = 3350.0 * kGB;
+  // Hopper parts ride PCIe Gen5 x16; with the 0.625 efficiency factor this
+  // gives the ~40 GB/s effective loading the paper's sub-second 13B
+  // scale-ups imply.
+  spec.pcie_bytes_per_s = 64.0 * kGB;
+  return spec;
+}
+
+GpuSpec GpuSpec::H20() {
+  GpuSpec spec;
+  spec.name = "H20-96GB";
+  spec.vram_bytes = 96.0 * kGiB;
+  spec.peak_fp16_flops = 148e12;
+  spec.hbm_bytes_per_s = 4000.0 * kGB;
+  spec.pcie_bytes_per_s = 64.0 * kGB;
+  return spec;
+}
+
+GpuSpec GpuSpec::A10() {
+  GpuSpec spec;
+  spec.name = "A10-24GB";
+  spec.vram_bytes = 24.0 * kGiB;
+  spec.peak_fp16_flops = 125e12;
+  spec.hbm_bytes_per_s = 600.0 * kGB;
+  spec.pcie_bytes_per_s = 32.0 * kGB;
+  return spec;
+}
+
+GpuSpec GpuSpec::A100() {
+  GpuSpec spec;
+  spec.name = "A100-80GB";
+  spec.vram_bytes = 80.0 * kGiB;
+  spec.peak_fp16_flops = 312e12;
+  spec.hbm_bytes_per_s = 2039.0 * kGB;
+  spec.pcie_bytes_per_s = 32.0 * kGB;
+  return spec;
+}
+
+}  // namespace aegaeon

@@ -1,0 +1,56 @@
+// Static descriptions of the GPU SKUs used in the paper's evaluation.
+//
+// The simulator derives all execution and transfer latencies from these
+// specs (together with the efficiency factors below), so a single place
+// controls calibration. Values are public datasheet numbers.
+
+#ifndef AEGAEON_HW_GPU_SPEC_H_
+#define AEGAEON_HW_GPU_SPEC_H_
+
+#include <cstdint>
+#include <string>
+
+namespace aegaeon {
+
+inline constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+inline constexpr double kGB = 1e9;
+
+struct GpuSpec {
+  std::string name;
+  // Total device memory.
+  double vram_bytes = 0.0;
+  // Peak dense FP16/BF16 throughput, in FLOP/s.
+  double peak_fp16_flops = 0.0;
+  // Peak HBM bandwidth, bytes/s.
+  double hbm_bytes_per_s = 0.0;
+  // Host link bandwidth (PCIe), bytes/s, one direction.
+  double pcie_bytes_per_s = 0.0;
+
+  // Achievable fraction of peak compute during dense prefill GEMMs.
+  double compute_efficiency = 0.45;
+  // Achievable fraction of peak HBM bandwidth during decoding.
+  double membw_efficiency = 0.70;
+  // Achievable fraction of PCIe bandwidth with the optimized multi-threaded,
+  // chunked, pipelined copy path (the paper's beta = 0.625, Appendix A.2).
+  double pcie_efficiency = 0.625;
+  // Fixed per-kernel-launch/step overhead for a token generation job, in
+  // seconds. Covers kernel launches, sampling, and Python/engine overhead.
+  double step_overhead_s = 0.004;
+
+  double effective_flops() const { return peak_fp16_flops * compute_efficiency; }
+  double effective_hbm() const { return hbm_bytes_per_s * membw_efficiency; }
+  double effective_pcie() const { return pcie_bytes_per_s * pcie_efficiency; }
+
+  // NVIDIA H800 80GB (SXM): the paper's primary testbed GPU (§7.1).
+  static GpuSpec H800();
+  // NVIDIA H20 96GB: the production deployment GPU (§7.5).
+  static GpuSpec H20();
+  // NVIDIA A10 24GB: the lower-end sensitivity study GPU (§7.4).
+  static GpuSpec A10();
+  // NVIDIA A100 80GB: used in the multiplexing capacity discussion (§2.3).
+  static GpuSpec A100();
+};
+
+}  // namespace aegaeon
+
+#endif  // AEGAEON_HW_GPU_SPEC_H_

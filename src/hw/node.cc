@@ -1,0 +1,33 @@
+#include "hw/node.h"
+
+#include <cassert>
+
+namespace aegaeon {
+
+Node::Node(int gpu_count, const GpuSpec& spec, double dram_bytes, GpuId first_gpu_id)
+    : dram_bytes_(dram_bytes) {
+  assert(gpu_count > 0);
+  gpus_.reserve(gpu_count);
+  for (int i = 0; i < gpu_count; ++i) {
+    gpus_.push_back(std::make_unique<GpuDevice>(first_gpu_id + i, spec));
+  }
+}
+
+bool Node::AllocDram(double bytes) {
+  assert(bytes >= 0.0);
+  if (dram_used_ + bytes > dram_bytes_) {
+    return false;
+  }
+  dram_used_ += bytes;
+  return true;
+}
+
+void Node::FreeDram(double bytes) {
+  assert(bytes >= 0.0);
+  dram_used_ -= bytes;
+  if (dram_used_ < 0.0) {
+    dram_used_ = 0.0;
+  }
+}
+
+}  // namespace aegaeon

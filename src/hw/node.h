@@ -1,0 +1,43 @@
+// A physical node: a set of GPUs plus host DRAM (Figure 5's per-node view).
+
+#ifndef AEGAEON_HW_NODE_H_
+#define AEGAEON_HW_NODE_H_
+
+#include <memory>
+#include <vector>
+
+#include "hw/gpu_device.h"
+#include "hw/gpu_spec.h"
+
+namespace aegaeon {
+
+class Node {
+ public:
+  // Builds a node with `gpu_count` identical GPUs and `dram_bytes` of host
+  // memory. GPU ids are assigned starting from `first_gpu_id`.
+  Node(int gpu_count, const GpuSpec& spec, double dram_bytes, GpuId first_gpu_id = 0);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  int gpu_count() const { return static_cast<int>(gpus_.size()); }
+  GpuDevice& gpu(int i) { return *gpus_[i]; }
+  const GpuDevice& gpu(int i) const { return *gpus_[i]; }
+
+  double dram_bytes() const { return dram_bytes_; }
+
+  // Host DRAM accounting (model cache, unified CPU KV cache, stage buffers).
+  bool AllocDram(double bytes);
+  void FreeDram(double bytes);
+  double dram_used() const { return dram_used_; }
+  double dram_free() const { return dram_bytes_ - dram_used_; }
+
+ private:
+  std::vector<std::unique_ptr<GpuDevice>> gpus_;
+  double dram_bytes_;
+  double dram_used_ = 0.0;
+};
+
+}  // namespace aegaeon
+
+#endif  // AEGAEON_HW_NODE_H_

@@ -1,0 +1,21 @@
+#include "hw/pcie_link.h"
+
+#include <cassert>
+
+namespace aegaeon {
+
+PcieLink::Span PcieLink::Transfer(TimePoint now, double bytes, CopyDir dir,
+                                  double effective_fraction, TimePoint ready_after) {
+  assert(bytes >= 0.0);
+  assert(effective_fraction > 0.0 && effective_fraction <= 1.0);
+  TimePoint& free_at = (dir == CopyDir::kHostToDevice) ? free_h2d_ : free_d2h_;
+  Duration& busy = (dir == CopyDir::kHostToDevice) ? busy_h2d_ : busy_d2h_;
+  TimePoint start = std::max({now, free_at, ready_after});
+  Duration duration = bytes / (raw_bw_ * effective_fraction);
+  TimePoint end = start + duration;
+  free_at = end;
+  busy += duration;
+  return Span{start, end};
+}
+
+}  // namespace aegaeon

@@ -1,0 +1,65 @@
+// Simulated PCIe link between a GPU and host memory.
+//
+// PCIe is full duplex: host-to-device and device-to-host transfers proceed
+// independently, but transfers in the same direction serialize. The link
+// exposes both the raw datasheet bandwidth and the effective bandwidth of
+// the optimized copy path (multi-threaded, chunked, pipelined via a stage
+// buffer — §5.2 "Quick model loading").
+
+#ifndef AEGAEON_HW_PCIE_LINK_H_
+#define AEGAEON_HW_PCIE_LINK_H_
+
+#include <algorithm>
+
+#include "sim/time.h"
+
+namespace aegaeon {
+
+enum class CopyDir {
+  kHostToDevice,
+  kDeviceToHost,
+};
+
+class PcieLink {
+ public:
+  // `raw_bw` is the datasheet bandwidth, bytes/s per direction.
+  // `efficiency` is the achievable fraction with the optimized copy path.
+  PcieLink(double raw_bw, double efficiency)
+      : raw_bw_(raw_bw), efficiency_(efficiency) {}
+
+  struct Span {
+    TimePoint start;
+    TimePoint end;
+  };
+
+  // Schedules a transfer of `bytes` in direction `dir` submitted at `now`.
+  // `effective_fraction` is the fraction of raw bandwidth this copy path
+  // achieves (use efficiency() for the optimized path, or a lower figure for
+  // naive per-tensor loading). An optional `ready_after` gate delays the
+  // start (e.g. a stream dependency).
+  Span Transfer(TimePoint now, double bytes, CopyDir dir, double effective_fraction,
+                TimePoint ready_after = 0.0);
+
+  // Duration of a transfer at the optimized effective bandwidth, ignoring
+  // queueing. Used by latency estimators (Eq. 4).
+  Duration OptimizedDuration(double bytes) const { return bytes / (raw_bw_ * efficiency_); }
+
+  double raw_bw() const { return raw_bw_; }
+  double efficiency() const { return efficiency_; }
+
+  // Cumulative busy time per direction, for utilization reports.
+  Duration busy_h2d() const { return busy_h2d_; }
+  Duration busy_d2h() const { return busy_d2h_; }
+
+ private:
+  double raw_bw_;
+  double efficiency_;
+  TimePoint free_h2d_ = 0.0;
+  TimePoint free_d2h_ = 0.0;
+  Duration busy_h2d_ = 0.0;
+  Duration busy_d2h_ = 0.0;
+};
+
+}  // namespace aegaeon
+
+#endif  // AEGAEON_HW_PCIE_LINK_H_

@@ -1,0 +1,163 @@
+#include "infer/mini_server.h"
+
+#include <cassert>
+
+namespace aegaeon {
+
+MiniAegaeon::MiniAegaeon(int model_count, TinyLlmConfig config, size_t arena_bytes,
+                         uint64_t seed, int tokens_per_block)
+    : config_(config), tokens_per_block_(tokens_per_block) {
+  assert(model_count > 0);
+  models_.reserve(model_count);
+  for (int m = 0; m < model_count; ++m) {
+    models_.push_back(std::make_unique<TinyLlm>(config_, seed + static_cast<uint64_t>(m) * 977));
+  }
+  // Slabs sized to a handful of KV blocks keep fragmentation interesting.
+  size_t slab = config_.KvGeometry(tokens_per_block_).BlockBytes() * 4;
+  arena_ = std::make_unique<KvArena>(arena_bytes, slab);
+}
+
+MiniAegaeon::~MiniAegaeon() = default;
+
+int MiniAegaeon::Submit(int model, std::vector<int> prompt, int max_new) {
+  assert(model >= 0 && model < static_cast<int>(models_.size()));
+  assert(!prompt.empty() && max_new > 0);
+  MiniRequest request;
+  request.id = static_cast<int>(requests_.size());
+  request.model = model;
+  request.prompt = std::move(prompt);
+  request.max_new = max_new;
+  requests_.push_back(std::move(request));
+  states_.emplace_back();
+  return requests_.back().id;
+}
+
+std::vector<int> MiniAegaeon::DedicatedReference(int model, const std::vector<int>& prompt,
+                                                 int max_new) const {
+  // A private arena big enough for the whole run: the uninterrupted ground
+  // truth.
+  PagedKvStore::Geometry geometry = config_.KvGeometry(tokens_per_block_);
+  size_t needed = geometry.BlockBytes() *
+                  (static_cast<size_t>(prompt.size() + max_new) / tokens_per_block_ + 2) *
+                  geometry.layers * 2;
+  KvArena arena(needed, geometry.BlockBytes() * 4);
+  PagedKvStore kv(geometry, &arena);
+  return models_[model]->Generate(prompt, max_new, kv);
+}
+
+void MiniAegaeon::Offload(int id) {
+  RequestState& state = states_[id];
+  if (state.kv == nullptr) {
+    return;
+  }
+  if (state.kv->tokens() > 0) {
+    state.snapshot = state.kv->Export();
+    kv_swaps_++;
+  }
+  state.kv.reset();  // Release() in the destructor frees the blocks
+}
+
+void MiniAegaeon::ActivateModel(int model) {
+  if (active_model_ == model) {
+    return;
+  }
+  // Preemptive scale-down: every other model's resident KV leaves the
+  // "GPU" (in the real system this is the §5.3 swap-out path).
+  for (const MiniRequest& request : requests_) {
+    if (request.model != model) {
+      Offload(request.id);
+    }
+  }
+  active_model_ = model;
+  model_switches_++;
+}
+
+bool MiniAegaeon::EnsureResident(int id) {
+  RequestState& state = states_[id];
+  if (state.kv != nullptr) {
+    return true;
+  }
+  state.kv = std::make_unique<PagedKvStore>(config_.KvGeometry(tokens_per_block_), arena_.get());
+  if (state.snapshot.has_value()) {
+    if (!state.kv->Import(*state.snapshot)) {
+      state.kv.reset();
+      return false;  // arena full; snapshot retained for a later attempt
+    }
+    state.snapshot.reset();
+    kv_swaps_++;
+  }
+  return true;
+}
+
+bool MiniAegaeon::DecodeTurn(int id, int quota_tokens) {
+  MiniRequest& request = requests_[id];
+  RequestState& state = states_[id];
+  TinyLlm& model = *models_[request.model];
+  int budget = quota_tokens;
+
+  if (!request.prefilled) {
+    std::vector<float> logits;
+    for (int token : request.prompt) {
+      logits = model.ForwardToken(token, state.kv->tokens(), *state.kv);
+      if (logits.empty()) {
+        return false;
+      }
+    }
+    request.prefilled = true;
+    state.next_token = model.Greedy(logits);
+    request.output.push_back(state.next_token);
+    --budget;
+  }
+  while (budget > 0 && !request.done()) {
+    std::vector<float> logits =
+        model.ForwardToken(state.next_token, state.kv->tokens(), *state.kv);
+    if (logits.empty()) {
+      return false;
+    }
+    state.next_token = model.Greedy(logits);
+    request.output.push_back(state.next_token);
+    --budget;
+  }
+  if (request.done()) {
+    state.kv.reset();
+    state.snapshot.reset();
+  }
+  return true;
+}
+
+bool MiniAegaeon::RunToCompletion(int quota_tokens) {
+  assert(quota_tokens > 0);
+  for (;;) {
+    bool all_done = true;
+    bool progressed = false;
+    for (int m = 0; m < static_cast<int>(models_.size()); ++m) {
+      bool model_has_work = false;
+      for (const MiniRequest& request : requests_) {
+        model_has_work |= (request.model == m && !request.done());
+      }
+      if (!model_has_work) {
+        continue;
+      }
+      all_done = false;
+      ActivateModel(m);
+      for (MiniRequest& request : requests_) {
+        if (request.model != m || request.done()) {
+          continue;
+        }
+        size_t before = request.output.size();
+        if (EnsureResident(request.id)) {
+          DecodeTurn(request.id, quota_tokens);
+        }
+        progressed |= request.output.size() > before;
+      }
+    }
+    if (all_done) {
+      return true;
+    }
+    if (!progressed) {
+      return false;  // arena too small to host any active request
+    }
+  }
+}
+
+}  // namespace aegaeon

@@ -1,0 +1,93 @@
+// MiniAegaeon: the paper's token-level multi-model auto-scaling executed
+// FOR REAL at toy scale. Several tiny transformers share one KV arena (the
+// "GPU"); only one model is active at a time, and switching models
+// preemptively offloads every other model's KV (export + free) and restores
+// the incoming model's requests (import) — exactly the Figure 2(b) schedule,
+// but with genuine attention computation instead of simulated latencies.
+//
+// The integration contract it lets tests assert: every request served under
+// arbitrary token-level preemption produces the same token stream as a
+// dedicated, uninterrupted run of its model.
+
+#ifndef AEGAEON_INFER_MINI_SERVER_H_
+#define AEGAEON_INFER_MINI_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "infer/paged_kv.h"
+#include "infer/tiny_llm.h"
+
+namespace aegaeon {
+
+class MiniAegaeon {
+ public:
+  struct MiniRequest {
+    int id = 0;
+    int model = 0;
+    std::vector<int> prompt;
+    int max_new = 0;
+    std::vector<int> output;
+    bool prefilled = false;
+    bool done() const { return static_cast<int>(output.size()) >= max_new; }
+  };
+
+  // `model_count` tiny models with distinct seeded weights share a KV arena
+  // of `arena_bytes`.
+  MiniAegaeon(int model_count, TinyLlmConfig config, size_t arena_bytes, uint64_t seed = 1,
+              int tokens_per_block = 8);
+  ~MiniAegaeon();
+
+  // Enqueues a request; returns its id.
+  int Submit(int model, std::vector<int> prompt, int max_new);
+
+  // Runs weighted-round-robin turns of `quota_tokens` per request across
+  // models (switching models between turns, with full KV offload/restore)
+  // until every request completes. Returns false if the arena cannot hold
+  // even a single active request (no progress possible).
+  bool RunToCompletion(int quota_tokens);
+
+  const MiniRequest& request(int id) const { return requests_[id]; }
+  size_t request_count() const { return requests_.size(); }
+
+  // Dedicated-run reference for a request's workload (fresh arena, no
+  // sharing) — the ground truth the served output must equal.
+  std::vector<int> DedicatedReference(int model, const std::vector<int>& prompt,
+                                      int max_new) const;
+
+  uint64_t model_switches() const { return model_switches_; }
+  uint64_t kv_swaps() const { return kv_swaps_; }
+  const TinyLlm& model(int m) const { return *models_[m]; }
+
+ private:
+  struct RequestState {
+    std::unique_ptr<PagedKvStore> kv;                 // resident KV (if any)
+    std::optional<PagedKvStore::Snapshot> snapshot;   // offloaded KV (if any)
+    int next_token = -1;                              // last sampled token
+  };
+
+  // Makes `model` the active one: offloads every other model's resident KV.
+  void ActivateModel(int model);
+  // Ensures request `id`'s KV is resident; restores from its snapshot or
+  // (first turn) prefills from scratch. False on arena exhaustion.
+  bool EnsureResident(int id);
+  void Offload(int id);
+  // Runs up to `quota_tokens` decode steps for request `id`.
+  bool DecodeTurn(int id, int quota_tokens);
+
+  TinyLlmConfig config_;
+  int tokens_per_block_;
+  std::vector<std::unique_ptr<TinyLlm>> models_;
+  std::unique_ptr<KvArena> arena_;
+  std::vector<MiniRequest> requests_;
+  std::vector<RequestState> states_;
+  int active_model_ = -1;
+  uint64_t model_switches_ = 0;
+  uint64_t kv_swaps_ = 0;
+};
+
+}  // namespace aegaeon
+
+#endif  // AEGAEON_INFER_MINI_SERVER_H_

@@ -1,0 +1,150 @@
+#include "infer/paged_kv.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace aegaeon {
+
+KvArena::KvArena(size_t total_bytes, size_t slab_bytes)
+    : total_bytes_(total_bytes),
+      slab_bytes_(slab_bytes),
+      slabs_(total_bytes, slab_bytes),
+      data_(total_bytes / sizeof(float), 0.0f) {}
+
+ShapeClassId KvArena::RegisterBlockBytes(size_t block_bytes) {
+  for (const auto& [bytes, id] : registered_) {
+    if (bytes == block_bytes) {
+      return id;
+    }
+  }
+  ShapeClassId id = static_cast<ShapeClassId>(registered_.size());
+  bool ok = slabs_.RegisterShape(id, block_bytes);
+  assert(ok && "KV block larger than an arena slab");
+  (void)ok;
+  registered_.emplace_back(block_bytes, id);
+  return id;
+}
+
+float* KvArena::BlockPtr(BlockRef block, size_t block_bytes) {
+  size_t offset_bytes =
+      static_cast<size_t>(block.slab) * slab_bytes_ + static_cast<size_t>(block.index) * block_bytes;
+  assert(offset_bytes + block_bytes <= total_bytes_);
+  return data_.data() + offset_bytes / sizeof(float);
+}
+
+const float* KvArena::BlockPtr(BlockRef block, size_t block_bytes) const {
+  return const_cast<KvArena*>(this)->BlockPtr(block, block_bytes);
+}
+
+PagedKvStore::PagedKvStore(Geometry geometry, KvArena* arena)
+    : geometry_(geometry), arena_(arena) {
+  assert(arena_ != nullptr);
+  shape_ = arena_->RegisterBlockBytes(geometry_.BlockBytes());
+  table_.resize(geometry_.layers);
+}
+
+PagedKvStore::~PagedKvStore() { Release(); }
+
+float* PagedKvStore::EntryPtr(int layer, int pos, bool value) const {
+  assert(layer >= 0 && layer < geometry_.layers);
+  assert(pos >= 0 && pos < tokens_);
+  int block_index = pos / geometry_.tokens_per_block;
+  int within = pos % geometry_.tokens_per_block;
+  const BlockRef& block = table_[layer][block_index];
+  float* base = arena_->BlockPtr(block, geometry_.BlockBytes());
+  size_t entry = geometry_.FloatsPerEntry();
+  // Layout: [token-in-block][K|V][kv_head * head_dim].
+  return base + (static_cast<size_t>(within) * 2 + (value ? 1 : 0)) * entry;
+}
+
+bool PagedKvStore::Append(int layer, int pos, const float* k, const float* v) {
+  assert(layer >= 0 && layer < geometry_.layers);
+  // Layers advance in lockstep within a forward pass: layer 0 defines the
+  // new position; other layers follow behind (Import replays whole layers).
+  assert(layer != 0 || pos == tokens_ || pos == tokens_ - 1);
+  assert(pos <= tokens_);
+  int block_index = pos / geometry_.tokens_per_block;
+  if (block_index == static_cast<int>(table_[layer].size())) {
+    std::vector<BlockRef> fresh = arena_->slabs().Alloc(shape_, 1);
+    if (fresh.empty()) {
+      return false;
+    }
+    table_[layer].push_back(fresh[0]);
+  }
+  if (layer == 0 && pos == tokens_) {
+    tokens_ = pos + 1;
+  }
+  size_t entry = geometry_.FloatsPerEntry();
+  int within = pos % geometry_.tokens_per_block;
+  float* base = arena_->BlockPtr(table_[layer][block_index], geometry_.BlockBytes());
+  float* kdst = base + static_cast<size_t>(within) * 2 * entry;
+  std::memcpy(kdst, k, entry * sizeof(float));
+  std::memcpy(kdst + entry, v, entry * sizeof(float));
+  return true;
+}
+
+const float* PagedKvStore::KeyAt(int layer, int pos) const {
+  return EntryPtr(layer, pos, /*value=*/false);
+}
+
+const float* PagedKvStore::ValueAt(int layer, int pos) const {
+  return EntryPtr(layer, pos, /*value=*/true);
+}
+
+size_t PagedKvStore::blocks_held() const {
+  size_t total = 0;
+  for (const auto& layer_table : table_) {
+    total += layer_table.size();
+  }
+  return total;
+}
+
+PagedKvStore::Snapshot PagedKvStore::Export() const {
+  Snapshot snapshot;
+  snapshot.geometry = geometry_;
+  snapshot.tokens = tokens_;
+  size_t entry = geometry_.FloatsPerEntry();
+  snapshot.data.reserve(static_cast<size_t>(geometry_.layers) * tokens_ * 2 * entry);
+  for (int layer = 0; layer < geometry_.layers; ++layer) {
+    for (int pos = 0; pos < tokens_; ++pos) {
+      const float* k = KeyAt(layer, pos);
+      snapshot.data.insert(snapshot.data.end(), k, k + entry);
+      const float* v = ValueAt(layer, pos);
+      snapshot.data.insert(snapshot.data.end(), v, v + entry);
+    }
+  }
+  return snapshot;
+}
+
+void PagedKvStore::Release() {
+  for (auto& layer_table : table_) {
+    arena_->slabs().Free(layer_table);
+    layer_table.clear();
+  }
+  tokens_ = 0;
+}
+
+bool PagedKvStore::Import(const Snapshot& snapshot) {
+  assert(tokens_ == 0 && "Import requires an empty store");
+  assert(snapshot.geometry.layers == geometry_.layers);
+  assert(snapshot.geometry.kv_heads == geometry_.kv_heads);
+  assert(snapshot.geometry.head_dim == geometry_.head_dim);
+  size_t entry = geometry_.FloatsPerEntry();
+  const float* src = snapshot.data.data();
+  for (int layer = 0; layer < geometry_.layers; ++layer) {
+    for (int pos = 0; pos < snapshot.tokens; ++pos) {
+      // During import, replaying Append per layer: emulate the in-order
+      // append contract by advancing tokens_ only on layer 0.
+      int expected = layer == 0 ? tokens_ : pos;
+      (void)expected;
+      if (!Append(layer, pos, src, src + entry)) {
+        Release();
+        return false;
+      }
+      src += 2 * entry;
+    }
+  }
+  return true;
+}
+
+}  // namespace aegaeon

@@ -1,0 +1,116 @@
+// A real paged KV cache: PagedAttention-style block tables over the same
+// SlabAllocator the serving stack uses (§5.2's unified KV cache), but
+// backed by actual float storage. The tiny reference engine reads and
+// writes attention state through it, so block-table arithmetic, slab
+// recycling, and swap (export/import) semantics are validated against
+// ground-truth model outputs: a request preempted, offloaded, and restored
+// must continue bit-identically.
+
+#ifndef AEGAEON_INFER_PAGED_KV_H_
+#define AEGAEON_INFER_PAGED_KV_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mem/slab_allocator.h"
+
+namespace aegaeon {
+
+// Float storage carved into slab-allocated blocks. One arena can back many
+// PagedKvStores (many concurrent requests), exactly like the unified GPU
+// KV cache hosts many requests' blocks.
+class KvArena {
+ public:
+  KvArena(size_t total_bytes, size_t slab_bytes);
+
+  // Registers a block size (bytes); returns its shape class. Idempotent per
+  // distinct size.
+  ShapeClassId RegisterBlockBytes(size_t block_bytes);
+
+  SlabAllocator& slabs() { return slabs_; }
+
+  // Pointer to a block's storage. `block_bytes` must be the size registered
+  // for the block's shape class.
+  float* BlockPtr(BlockRef block, size_t block_bytes);
+  const float* BlockPtr(BlockRef block, size_t block_bytes) const;
+
+  size_t total_bytes() const { return total_bytes_; }
+
+ private:
+  size_t total_bytes_;
+  size_t slab_bytes_;
+  SlabAllocator slabs_;
+  std::vector<float> data_;
+  std::vector<std::pair<size_t, ShapeClassId>> registered_;  // (bytes, id)
+};
+
+// Per-request paged KV storage for a multi-layer attention stack.
+class PagedKvStore {
+ public:
+  struct Geometry {
+    int layers = 2;
+    int kv_heads = 2;
+    int head_dim = 8;
+    int tokens_per_block = 8;
+
+    // Floats for one token's K (or V) in one layer.
+    size_t FloatsPerEntry() const {
+      return static_cast<size_t>(kv_heads) * static_cast<size_t>(head_dim);
+    }
+    // Block bytes: tokens_per_block tokens x (K+V) x kv_heads x head_dim.
+    size_t BlockBytes() const {
+      return static_cast<size_t>(tokens_per_block) * 2 * FloatsPerEntry() * sizeof(float);
+    }
+  };
+
+  PagedKvStore(Geometry geometry, KvArena* arena);
+  ~PagedKvStore();
+
+  PagedKvStore(const PagedKvStore&) = delete;
+  PagedKvStore& operator=(const PagedKvStore&) = delete;
+
+  // Appends K/V for the next position of `layer`. Positions must be
+  // appended in order per layer (pos == tokens-so-far for that layer).
+  // Returns false if the arena is out of blocks.
+  bool Append(int layer, int pos, const float* k, const float* v);
+
+  // K/V of position `pos` in `layer` (kv_heads * head_dim floats).
+  const float* KeyAt(int layer, int pos) const;
+  const float* ValueAt(int layer, int pos) const;
+
+  // Tokens stored (per layer; all layers advance together in a transformer).
+  int tokens() const { return tokens_; }
+  const Geometry& geometry() const { return geometry_; }
+  size_t blocks_held() const;
+
+  // --- Swap support (the serving stack's offload path, with real data) ---
+  struct Snapshot {
+    Geometry geometry;
+    int tokens = 0;
+    std::vector<float> data;  // layer-major, position-major
+  };
+  // Serializes all stored K/V.
+  Snapshot Export() const;
+  // Frees every block (the "scale-down" / preemption).
+  void Release();
+  // Restores from a snapshot into freshly allocated (likely different)
+  // blocks. The store must be empty. Returns false on arena exhaustion
+  // (the store is left empty).
+  bool Import(const Snapshot& snapshot);
+
+ private:
+  float* EntryPtr(int layer, int pos, bool value) const;
+
+  Geometry geometry_;
+  KvArena* arena_;
+  ShapeClassId shape_;
+  int tokens_ = 0;
+  // Block table per layer: block index b covers positions
+  // [b*tokens_per_block, (b+1)*tokens_per_block).
+  std::vector<std::vector<BlockRef>> table_;
+};
+
+}  // namespace aegaeon
+
+#endif  // AEGAEON_INFER_PAGED_KV_H_

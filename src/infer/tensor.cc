@@ -1,0 +1,92 @@
+#include "infer/tensor.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace aegaeon {
+
+std::vector<float> VecMat(const std::vector<float>& x, const Matrix& w) {
+  assert(x.size() == w.rows());
+  std::vector<float> out(w.cols(), 0.0f);
+  for (size_t r = 0; r < w.rows(); ++r) {
+    float xv = x[r];
+    if (xv == 0.0f) {
+      continue;
+    }
+    const float* row = w.row(r);
+    for (size_t c = 0; c < w.cols(); ++c) {
+      out[c] += xv * row[c];
+    }
+  }
+  return out;
+}
+
+void SoftmaxInPlace(std::vector<float>& x) {
+  if (x.empty()) {
+    return;
+  }
+  float max_val = x[0];
+  for (float v : x) {
+    max_val = v > max_val ? v : max_val;
+  }
+  float sum = 0.0f;
+  for (float& v : x) {
+    v = std::exp(v - max_val);
+    sum += v;
+  }
+  for (float& v : x) {
+    v /= sum;
+  }
+}
+
+std::vector<float> RmsNorm(const std::vector<float>& x, const std::vector<float>& weight,
+                           float eps) {
+  assert(x.size() == weight.size());
+  double sq = 0.0;
+  for (float v : x) {
+    sq += static_cast<double>(v) * v;
+  }
+  float inv_rms = 1.0f / std::sqrt(static_cast<float>(sq / x.size()) + eps);
+  std::vector<float> out(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    out[i] = x[i] * inv_rms * weight[i];
+  }
+  return out;
+}
+
+void SiluInPlace(std::vector<float>& x) {
+  for (float& v : x) {
+    v = v / (1.0f + std::exp(-v));
+  }
+}
+
+void RopeInPlace(float* head, int head_dim, int pos, float theta) {
+  assert(head_dim % 2 == 0);
+  for (int i = 0; i < head_dim; i += 2) {
+    float freq = std::pow(theta, -static_cast<float>(i) / head_dim);
+    float angle = static_cast<float>(pos) * freq;
+    float c = std::cos(angle);
+    float s = std::sin(angle);
+    float x0 = head[i];
+    float x1 = head[i + 1];
+    head[i] = x0 * c - x1 * s;
+    head[i + 1] = x0 * s + x1 * c;
+  }
+}
+
+float Dot(const float* a, const float* b, size_t n) {
+  float sum = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    sum += a[i] * b[i];
+  }
+  return sum;
+}
+
+void Axpy(std::vector<float>& y, const float* x, float alpha, size_t n) {
+  assert(y.size() >= n);
+  for (size_t i = 0; i < n; ++i) {
+    y[i] += alpha * x[i];
+  }
+}
+
+}  // namespace aegaeon

@@ -1,0 +1,63 @@
+// Minimal dense float tensor operations for the tiny reference inference
+// engine (src/infer/tiny_llm.h). Deliberately simple and allocation-light:
+// row-major matrices, vector ops, and the transformer primitives (softmax,
+// RMSNorm, SiLU, RoPE). Not performance-oriented — the goal is an exact,
+// auditable reference for validating the serving stack's KV bookkeeping.
+
+#ifndef AEGAEON_INFER_TENSOR_H_
+#define AEGAEON_INFER_TENSOR_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace aegaeon {
+
+// Row-major matrix of floats.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols) : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  float& at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  float at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  const float* row(size_t r) const { return data_.data() + r * cols_; }
+  float* mutable_row(size_t r) { return data_.data() + r * cols_; }
+
+  std::vector<float>& data() { return data_; }
+  const std::vector<float>& data() const { return data_; }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+// out[n] = x[m] * W[m x n] (vector-matrix product).
+std::vector<float> VecMat(const std::vector<float>& x, const Matrix& w);
+
+// In-place softmax over the whole vector (numerically stabilized).
+void SoftmaxInPlace(std::vector<float>& x);
+
+// RMSNorm: x * weight / rms(x).
+std::vector<float> RmsNorm(const std::vector<float>& x, const std::vector<float>& weight,
+                           float eps = 1e-5f);
+
+// SiLU activation: x * sigmoid(x), elementwise.
+void SiluInPlace(std::vector<float>& x);
+
+// Rotary position embedding applied in-place to one head's query/key slice
+// of `head_dim` floats at sequence position `pos`.
+void RopeInPlace(float* head, int head_dim, int pos, float theta = 10000.0f);
+
+// Dot product of two equal-length spans.
+float Dot(const float* a, const float* b, size_t n);
+
+// y += alpha * x.
+void Axpy(std::vector<float>& y, const float* x, float alpha, size_t n);
+
+}  // namespace aegaeon
+
+#endif  // AEGAEON_INFER_TENSOR_H_

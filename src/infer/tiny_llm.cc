@@ -1,0 +1,149 @@
+#include "infer/tiny_llm.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "sim/random.h"
+
+namespace aegaeon {
+namespace {
+
+void FillNormal(Rng& rng, std::vector<float>& data, float stddev) {
+  for (float& v : data) {
+    v = static_cast<float>(rng.Normal(0.0, stddev));
+  }
+}
+
+Matrix RandomMatrix(Rng& rng, size_t rows, size_t cols, float stddev) {
+  Matrix m(rows, cols);
+  FillNormal(rng, m.data(), stddev);
+  return m;
+}
+
+}  // namespace
+
+TinyLlm::TinyLlm(TinyLlmConfig config, uint64_t seed) : config_(config) {
+  assert(config_.hidden % config_.heads == 0);
+  assert(config_.heads % config_.kv_heads == 0);
+  assert(config_.head_dim() % 2 == 0);
+  Rng rng(seed);
+  const float stddev = 0.08f;
+  const int kv_dim = config_.kv_heads * config_.head_dim();
+
+  embedding_ = RandomMatrix(rng, config_.vocab, config_.hidden, stddev);
+  lm_head_ = RandomMatrix(rng, config_.hidden, config_.vocab, stddev);
+  rms_final_.assign(config_.hidden, 1.0f);
+
+  layers_.resize(config_.layers);
+  for (Layer& layer : layers_) {
+    layer.wq = RandomMatrix(rng, config_.hidden, config_.hidden, stddev);
+    layer.wk = RandomMatrix(rng, config_.hidden, kv_dim, stddev);
+    layer.wv = RandomMatrix(rng, config_.hidden, kv_dim, stddev);
+    layer.wo = RandomMatrix(rng, config_.hidden, config_.hidden, stddev);
+    layer.w_gate = RandomMatrix(rng, config_.hidden, config_.ffn, stddev);
+    layer.w_up = RandomMatrix(rng, config_.hidden, config_.ffn, stddev);
+    layer.w_down = RandomMatrix(rng, config_.ffn, config_.hidden, stddev);
+    layer.rms_attn.assign(config_.hidden, 1.0f);
+    layer.rms_ffn.assign(config_.hidden, 1.0f);
+  }
+}
+
+std::vector<float> TinyLlm::ForwardToken(int token, int pos, PagedKvStore& kv) const {
+  assert(token >= 0 && token < config_.vocab);
+  assert(pos == kv.tokens());
+  const int head_dim = config_.head_dim();
+  const int group = config_.heads / config_.kv_heads;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
+
+  std::vector<float> x(embedding_.row(token), embedding_.row(token) + config_.hidden);
+
+  for (int li = 0; li < config_.layers; ++li) {
+    const Layer& layer = layers_[li];
+
+    // --- Attention block -------------------------------------------------
+    std::vector<float> h = RmsNorm(x, layer.rms_attn);
+    std::vector<float> q = VecMat(h, layer.wq);
+    std::vector<float> k = VecMat(h, layer.wk);
+    std::vector<float> v = VecMat(h, layer.wv);
+    for (int head = 0; head < config_.heads; ++head) {
+      RopeInPlace(q.data() + head * head_dim, head_dim, pos);
+    }
+    for (int head = 0; head < config_.kv_heads; ++head) {
+      RopeInPlace(k.data() + head * head_dim, head_dim, pos);
+    }
+    if (!kv.Append(li, pos, k.data(), v.data())) {
+      return {};
+    }
+
+    std::vector<float> attn(config_.hidden, 0.0f);
+    std::vector<float> scores(pos + 1);
+    for (int head = 0; head < config_.heads; ++head) {
+      const int kv_head = head / group;
+      const float* qh = q.data() + head * head_dim;
+      for (int p = 0; p <= pos; ++p) {
+        const float* kp = kv.KeyAt(li, p) + kv_head * head_dim;
+        scores[p] = Dot(qh, kp, head_dim) * scale;
+      }
+      SoftmaxInPlace(scores);
+      float* out_head = attn.data() + head * head_dim;
+      for (int p = 0; p <= pos; ++p) {
+        const float* vp = kv.ValueAt(li, p) + kv_head * head_dim;
+        for (int d = 0; d < head_dim; ++d) {
+          out_head[d] += scores[p] * vp[d];
+        }
+      }
+    }
+    std::vector<float> attn_proj = VecMat(attn, layer.wo);
+    Axpy(x, attn_proj.data(), 1.0f, x.size());
+
+    // --- SwiGLU FFN block --------------------------------------------------
+    std::vector<float> h2 = RmsNorm(x, layer.rms_ffn);
+    std::vector<float> gate = VecMat(h2, layer.w_gate);
+    std::vector<float> up = VecMat(h2, layer.w_up);
+    SiluInPlace(gate);
+    for (size_t i = 0; i < gate.size(); ++i) {
+      gate[i] *= up[i];
+    }
+    std::vector<float> down = VecMat(gate, layer.w_down);
+    Axpy(x, down.data(), 1.0f, x.size());
+  }
+
+  return VecMat(RmsNorm(x, rms_final_), lm_head_);
+}
+
+int TinyLlm::Greedy(const std::vector<float>& logits) const {
+  assert(!logits.empty());
+  int best = 0;
+  for (size_t i = 1; i < logits.size(); ++i) {
+    if (logits[i] > logits[best]) {
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+std::vector<int> TinyLlm::Generate(const std::vector<int>& prompt, int max_new,
+                                   PagedKvStore& kv) const {
+  std::vector<int> generated;
+  std::vector<float> logits;
+  int pos = kv.tokens();
+  for (int token : prompt) {
+    logits = ForwardToken(token, pos++, kv);
+    if (logits.empty()) {
+      return generated;
+    }
+  }
+  int next = Greedy(logits);
+  generated.push_back(next);
+  for (int i = 1; i < max_new; ++i) {
+    logits = ForwardToken(next, pos++, kv);
+    if (logits.empty()) {
+      break;
+    }
+    next = Greedy(logits);
+    generated.push_back(next);
+  }
+  return generated;
+}
+
+}  // namespace aegaeon

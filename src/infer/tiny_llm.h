@@ -1,0 +1,85 @@
+// A tiny, exact, CPU reference LLM: a LLaMA-style decoder-only transformer
+// (RMSNorm, RoPE, grouped-query attention, SwiGLU FFN) with deterministic
+// random weights, executing real forward passes against the paged KV cache.
+//
+// Purpose: engine-level validation of the serving stack. Scheduling and
+// memory decisions in core/ are exercised at simulated-H800 scale; this
+// engine proves the underlying KV bookkeeping *correct* at tiny scale —
+// paging must be invisible (any tokens_per_block yields identical logits)
+// and preemption must be exact (export/release/import resumes the identical
+// token stream).
+
+#ifndef AEGAEON_INFER_TINY_LLM_H_
+#define AEGAEON_INFER_TINY_LLM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "infer/paged_kv.h"
+#include "infer/tensor.h"
+
+namespace aegaeon {
+
+struct TinyLlmConfig {
+  int vocab = 128;
+  int hidden = 48;
+  int layers = 2;
+  int heads = 4;
+  int kv_heads = 2;
+  int ffn = 96;
+
+  int head_dim() const { return hidden / heads; }
+
+  PagedKvStore::Geometry KvGeometry(int tokens_per_block = 8) const {
+    PagedKvStore::Geometry geometry;
+    geometry.layers = layers;
+    geometry.kv_heads = kv_heads;
+    geometry.head_dim = head_dim();
+    geometry.tokens_per_block = tokens_per_block;
+    return geometry;
+  }
+};
+
+class TinyLlm {
+ public:
+  // Deterministic weight initialization from `seed`.
+  TinyLlm(TinyLlmConfig config, uint64_t seed);
+
+  const TinyLlmConfig& config() const { return config_; }
+
+  // Runs one token through the model at position `pos` (== kv.tokens()),
+  // appending this position's K/V to `kv`. Returns the logits over the
+  // vocabulary. Returns an empty vector if the KV arena is exhausted.
+  std::vector<float> ForwardToken(int token, int pos, PagedKvStore& kv) const;
+
+  // Deterministic argmax sampling (lowest id wins ties).
+  int Greedy(const std::vector<float>& logits) const;
+
+  // Prefills `prompt` and greedily generates up to `max_new` tokens (stops
+  // early only on arena exhaustion). Returns the generated ids.
+  std::vector<int> Generate(const std::vector<int>& prompt, int max_new,
+                            PagedKvStore& kv) const;
+
+ private:
+  struct Layer {
+    Matrix wq;      // hidden x hidden
+    Matrix wk;      // hidden x (kv_heads * head_dim)
+    Matrix wv;      // hidden x (kv_heads * head_dim)
+    Matrix wo;      // hidden x hidden
+    Matrix w_gate;  // hidden x ffn
+    Matrix w_up;    // hidden x ffn
+    Matrix w_down;  // ffn x hidden
+    std::vector<float> rms_attn;
+    std::vector<float> rms_ffn;
+  };
+
+  TinyLlmConfig config_;
+  Matrix embedding_;  // vocab x hidden
+  Matrix lm_head_;    // hidden x vocab
+  std::vector<float> rms_final_;
+  std::vector<Layer> layers_;
+};
+
+}  // namespace aegaeon
+
+#endif  // AEGAEON_INFER_TINY_LLM_H_

@@ -1,0 +1,129 @@
+#include "mem/model_cache.h"
+
+#include <cassert>
+
+namespace aegaeon {
+
+ModelCache::ModelCache(double capacity_bytes, double remote_bw_bytes_per_s)
+    : capacity_(capacity_bytes), remote_bw_(remote_bw_bytes_per_s) {
+  assert(capacity_ > 0.0);
+  assert(remote_bw_ > 0.0);
+}
+
+void ModelCache::EnableSsdTier(double ssd_capacity_bytes, double ssd_bw_bytes_per_s) {
+  assert(ssd_capacity_bytes >= 0.0);
+  assert(ssd_bw_bytes_per_s > 0.0);
+  ssd_capacity_ = ssd_capacity_bytes;
+  ssd_bw_ = ssd_bw_bytes_per_s;
+}
+
+bool ModelCache::OnSsd(ModelId model) const { return ssd_entries_.count(model) > 0; }
+
+void ModelCache::DemoteToSsd(ModelId model, double bytes) {
+  if (ssd_capacity_ <= 0.0 || bytes > ssd_capacity_) {
+    return;
+  }
+  if (ssd_entries_.count(model) > 0) {
+    return;  // already present; keep its LRU position
+  }
+  while (ssd_used_ + bytes > ssd_capacity_ && !ssd_lru_.empty()) {
+    ModelId victim = ssd_lru_.back();
+    ssd_lru_.pop_back();
+    ssd_used_ -= ssd_entries_.at(victim);
+    ssd_entries_.erase(victim);
+  }
+  ssd_entries_.emplace(model, bytes);
+  ssd_lru_.push_front(model);
+  ssd_used_ += bytes;
+}
+
+void ModelCache::Touch(ModelId model) {
+  Entry& entry = entries_.at(model);
+  lru_.erase(entry.lru_pos);
+  lru_.push_front(model);
+  entry.lru_pos = lru_.begin();
+}
+
+bool ModelCache::EvictFor(double bytes) {
+  if (bytes > capacity_) {
+    return false;
+  }
+  while (used_ + bytes > capacity_) {
+    // Scan from the LRU end for an unpinned victim.
+    auto victim = lru_.end();
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      if (entries_.at(*it).pins == 0) {
+        victim = std::prev(it.base());
+        break;
+      }
+    }
+    if (victim == lru_.end()) {
+      return false;  // everything pinned
+    }
+    // Evicted checkpoints demote to the SSD tier (when enabled) so a later
+    // reload costs an NVMe read instead of a registry fetch.
+    DemoteToSsd(*victim, entries_.at(*victim).bytes);
+    used_ -= entries_.at(*victim).bytes;
+    entries_.erase(*victim);
+    lru_.erase(victim);
+    ++evictions_;
+  }
+  return true;
+}
+
+ModelCache::LoadPlan ModelCache::Insert(ModelId model, double bytes, bool pin) {
+  LoadPlan plan;
+  auto it = entries_.find(model);
+  if (it != entries_.end()) {
+    plan.cache_hit = true;
+    ++hits_;
+    Touch(model);
+    if (pin) {
+      it->second.pins++;
+    }
+    return plan;
+  }
+  ++misses_;
+  plan.cache_hit = false;
+  auto ssd_it = ssd_entries_.find(model);
+  if (ssd_it != ssd_entries_.end()) {
+    plan.ssd_hit = true;
+    plan.registry_fetch = bytes / ssd_bw_;
+    ++ssd_hits_;
+    // Promote: bump SSD LRU position (the copy stays on SSD as well).
+    ssd_lru_.remove(model);
+    ssd_lru_.push_front(model);
+  } else {
+    plan.registry_fetch = bytes / remote_bw_;
+  }
+  if (!EvictFor(bytes)) {
+    // Cannot cache (e.g. capacity exceeded by pins): the load still works,
+    // streaming straight through the stage buffer, but nothing is retained.
+    return plan;
+  }
+  lru_.push_front(model);
+  Entry entry;
+  entry.bytes = bytes;
+  entry.pins = pin ? 1 : 0;
+  entry.lru_pos = lru_.begin();
+  entries_.emplace(model, entry);
+  used_ += bytes;
+  return plan;
+}
+
+ModelCache::LoadPlan ModelCache::PrepareLoad(ModelId model, double bytes) {
+  return Insert(model, bytes, /*pin=*/true);
+}
+
+void ModelCache::Unpin(ModelId model) {
+  auto it = entries_.find(model);
+  if (it != entries_.end() && it->second.pins > 0) {
+    it->second.pins--;
+  }
+}
+
+ModelCache::LoadPlan ModelCache::Warm(ModelId model, double bytes) {
+  return Insert(model, bytes, /*pin=*/false);
+}
+
+}  // namespace aegaeon

@@ -1,0 +1,200 @@
+#include "mem/slab_allocator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aegaeon {
+
+SlabAllocator::SlabAllocator(uint64_t total_bytes, uint64_t slab_bytes)
+    : slab_bytes_(slab_bytes) {
+  assert(slab_bytes > 0);
+  size_t slab_count = static_cast<size_t>(total_bytes / slab_bytes);
+  slabs_.resize(slab_count);
+  free_slabs_.reserve(slab_count);
+  // Pop from the back; seed in reverse so slab 0 is used first.
+  for (size_t i = slab_count; i-- > 0;) {
+    free_slabs_.push_back(static_cast<uint32_t>(i));
+  }
+}
+
+bool SlabAllocator::RegisterShape(ShapeClassId shape, uint64_t block_bytes) {
+  if (block_bytes == 0 || block_bytes > slab_bytes_) {
+    return false;
+  }
+  auto [it, inserted] = shape_states_.try_emplace(shape);
+  if (inserted) {
+    it->second.block_bytes = block_bytes;
+    return true;
+  }
+  return it->second.block_bytes == block_bytes;
+}
+
+int32_t SlabAllocator::AcquireSlab(ShapeClassId shape) {
+  if (free_slabs_.empty()) {
+    return -1;
+  }
+  uint32_t slab_id = free_slabs_.back();
+  free_slabs_.pop_back();
+  ShapeState& state = shape_states_.at(shape);
+  Slab& slab = slabs_[slab_id];
+  slab.shape = shape;
+  slab.block_capacity = static_cast<uint32_t>(slab_bytes_ / state.block_bytes);
+  slab.used_count = 0;
+  slab.free_indices.clear();
+  slab.free_indices.reserve(slab.block_capacity);
+  for (uint32_t i = slab.block_capacity; i-- > 0;) {
+    slab.free_indices.push_back(i);
+  }
+  state.held_slabs++;
+  state.partial_slabs.push_back(slab_id);
+  return static_cast<int32_t>(slab_id);
+}
+
+std::vector<BlockRef> SlabAllocator::Alloc(ShapeClassId shape, size_t count) {
+  auto it = shape_states_.find(shape);
+  assert(it != shape_states_.end() && "shape must be registered before Alloc");
+  ShapeState& state = it->second;
+
+  std::vector<BlockRef> blocks;
+  blocks.reserve(count);
+  while (blocks.size() < count) {
+    // Find a slab of this shape with free blocks, pruning stale entries
+    // (slabs that were reclaimed or filled up since being listed).
+    int32_t slab_id = -1;
+    while (!state.partial_slabs.empty()) {
+      uint32_t candidate = state.partial_slabs.back();
+      Slab& slab = slabs_[candidate];
+      if (slab.shape == shape && !slab.free_indices.empty()) {
+        slab_id = static_cast<int32_t>(candidate);
+        break;
+      }
+      state.partial_slabs.pop_back();
+    }
+    if (slab_id < 0) {
+      slab_id = AcquireSlab(shape);
+    }
+    if (slab_id < 0) {
+      // Out of memory: roll back (all-or-nothing semantics).
+      Free(blocks);
+      return {};
+    }
+    Slab& slab = slabs_[slab_id];
+    while (blocks.size() < count && !slab.free_indices.empty()) {
+      uint32_t index = slab.free_indices.back();
+      slab.free_indices.pop_back();
+      slab.used_count++;
+      state.used_blocks++;  // counted per block so a rollback stays balanced
+      blocks.push_back(BlockRef{static_cast<uint32_t>(slab_id), index});
+    }
+    if (slab.free_indices.empty() && !state.partial_slabs.empty() &&
+        state.partial_slabs.back() == static_cast<uint32_t>(slab_id)) {
+      state.partial_slabs.pop_back();
+    }
+  }
+  MaybeUpdatePeaks(state);
+  UpdateGlobalPeak();
+  return blocks;
+}
+
+void SlabAllocator::FreeOne(BlockRef block) {
+  Slab& slab = slabs_.at(block.slab);
+  assert(slab.shape != Slab::kUnassigned && "freeing into an unassigned slab");
+  assert(slab.used_count > 0);
+  ShapeState& state = shape_states_.at(slab.shape);
+  slab.free_indices.push_back(block.index);
+  slab.used_count--;
+  state.used_blocks--;
+  if (slab.used_count == 0) {
+    // Reclaim: the slab returns to the free pool and can serve any shape.
+    state.held_slabs--;
+    slab.shape = Slab::kUnassigned;
+    slab.free_indices.clear();
+    free_slabs_.push_back(block.slab);
+  } else {
+    state.partial_slabs.push_back(block.slab);
+  }
+}
+
+void SlabAllocator::Free(const std::vector<BlockRef>& blocks) {
+  for (const BlockRef& block : blocks) {
+    FreeOne(block);
+  }
+}
+
+uint64_t SlabAllocator::used_bytes(ShapeClassId shape) const {
+  auto it = shape_states_.find(shape);
+  return it == shape_states_.end() ? 0 : it->second.used_blocks * it->second.block_bytes;
+}
+
+uint64_t SlabAllocator::held_bytes(ShapeClassId shape) const {
+  auto it = shape_states_.find(shape);
+  return it == shape_states_.end() ? 0 : it->second.held_slabs * slab_bytes_;
+}
+
+uint64_t SlabAllocator::total_used_bytes() const {
+  uint64_t total = 0;
+  for (const auto& [shape, state] : shape_states_) {
+    total += state.used_blocks * state.block_bytes;
+  }
+  return total;
+}
+
+uint64_t SlabAllocator::total_held_bytes() const {
+  uint64_t total = 0;
+  for (const auto& [shape, state] : shape_states_) {
+    total += state.held_slabs * slab_bytes_;
+  }
+  return total;
+}
+
+void SlabAllocator::MaybeUpdatePeaks(ShapeState& state) {
+  uint64_t held = state.held_slabs * slab_bytes_;
+  if (held >= state.peak_held_bytes) {
+    state.peak_held_bytes = held;
+    state.used_at_peak = state.used_blocks * state.block_bytes;
+  }
+}
+
+void SlabAllocator::UpdateGlobalPeak() {
+  uint64_t held = total_held_bytes();
+  if (held >= global_peak_held_) {
+    global_peak_held_ = held;
+    global_used_at_peak_ = total_used_bytes();
+  }
+}
+
+SlabAllocator::ShapeStats SlabAllocator::shape_stats(ShapeClassId shape) const {
+  ShapeStats stats;
+  auto it = shape_states_.find(shape);
+  if (it == shape_states_.end()) {
+    return stats;
+  }
+  const ShapeState& state = it->second;
+  stats.block_bytes = state.block_bytes;
+  stats.used_bytes = state.used_blocks * state.block_bytes;
+  stats.held_bytes = state.held_slabs * slab_bytes_;
+  stats.peak_held_bytes = state.peak_held_bytes;
+  stats.used_at_peak = state.used_at_peak;
+  return stats;
+}
+
+std::vector<ShapeClassId> SlabAllocator::shapes() const {
+  std::vector<ShapeClassId> out;
+  out.reserve(shape_states_.size());
+  for (const auto& [shape, state] : shape_states_) {
+    out.push_back(shape);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+SlabAllocator::ShapeStats SlabAllocator::overall_stats() const {
+  ShapeStats stats;
+  stats.used_bytes = total_used_bytes();
+  stats.held_bytes = total_held_bytes();
+  stats.peak_held_bytes = global_peak_held_;
+  stats.used_at_peak = global_used_at_peak_;
+  return stats;
+}
+
+}  // namespace aegaeon

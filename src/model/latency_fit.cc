@@ -1,0 +1,157 @@
+#include "model/latency_fit.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace aegaeon {
+namespace {
+
+// Features of Eq. 5: [4*t*h^2 + 2*t*h*m, 3*h*t2/b, 1].
+std::vector<double> PrefillFeatures(const ModelSpec& model, int64_t tokens, double sq_sum,
+                                    int flash_block) {
+  double h = model.hidden_size;
+  double m = model.ffn_intermediate;
+  double t = static_cast<double>(tokens);
+  return {4.0 * t * h * h + 2.0 * t * h * m, 3.0 * h * sq_sum / flash_block, 1.0};
+}
+
+// Features of Eq. 6: the weight-read term is constant, so fit [3*h*t, 1].
+std::vector<double> DecodeFeatures(const ModelSpec& model, int64_t context_tokens) {
+  double h = model.hidden_size;
+  return {3.0 * h * static_cast<double>(context_tokens), 1.0};
+}
+
+double RSquared(const std::vector<double>& predicted, const std::vector<double>& actual) {
+  assert(predicted.size() == actual.size());
+  double mean = 0.0;
+  for (double y : actual) {
+    mean += y;
+  }
+  mean /= static_cast<double>(actual.size());
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    ss_res += (actual[i] - predicted[i]) * (actual[i] - predicted[i]);
+    ss_tot += (actual[i] - mean) * (actual[i] - mean);
+  }
+  return ss_tot <= 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace
+
+std::vector<double> SolveLeastSquares(const std::vector<std::vector<double>>& rows,
+                                      const std::vector<double>& y) {
+  if (rows.empty() || rows.size() != y.size()) {
+    return {};
+  }
+  const size_t k = rows[0].size();
+  // Normal equations: (X^T X) b = X^T y.
+  std::vector<std::vector<double>> a(k, std::vector<double>(k + 1, 0.0));
+  for (size_t s = 0; s < rows.size(); ++s) {
+    assert(rows[s].size() == k);
+    for (size_t i = 0; i < k; ++i) {
+      for (size_t j = 0; j < k; ++j) {
+        a[i][j] += rows[s][i] * rows[s][j];
+      }
+      a[i][k] += rows[s][i] * y[s];
+    }
+  }
+  // Gaussian elimination with partial pivoting.
+  for (size_t col = 0; col < k; ++col) {
+    size_t pivot = col;
+    for (size_t r = col + 1; r < k; ++r) {
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) {
+        pivot = r;
+      }
+    }
+    if (std::fabs(a[pivot][col]) < 1e-30) {
+      return {};  // singular
+    }
+    std::swap(a[col], a[pivot]);
+    for (size_t r = 0; r < k; ++r) {
+      if (r == col) {
+        continue;
+      }
+      double factor = a[r][col] / a[col][col];
+      for (size_t c = col; c <= k; ++c) {
+        a[r][c] -= factor * a[col][c];
+      }
+    }
+  }
+  std::vector<double> solution(k);
+  for (size_t i = 0; i < k; ++i) {
+    solution[i] = a[i][k] / a[i][i];
+  }
+  return solution;
+}
+
+LatencyFit FitPrefill(const ModelSpec& model, const std::vector<PrefillSample>& samples,
+                      int flash_block_size) {
+  LatencyFit fit;
+  if (samples.size() < 3) {
+    return fit;
+  }
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  rows.reserve(samples.size());
+  for (const PrefillSample& sample : samples) {
+    rows.push_back(PrefillFeatures(model, sample.tokens, sample.sq_sum_tokens, flash_block_size));
+    y.push_back(sample.latency);
+  }
+  std::vector<double> solution = SolveLeastSquares(rows, y);
+  if (solution.size() != 3) {
+    return fit;
+  }
+  fit.c_compute = solution[0];
+  fit.c_attn = solution[1];
+  fit.c_fixed = solution[2];
+  std::vector<double> predicted;
+  predicted.reserve(samples.size());
+  for (const PrefillSample& sample : samples) {
+    predicted.push_back(
+        PredictPrefill(fit, model, sample.tokens, sample.sq_sum_tokens, flash_block_size));
+  }
+  fit.r_squared = RSquared(predicted, y);
+  fit.ok = true;
+  return fit;
+}
+
+LatencyFit FitDecode(const ModelSpec& model, const std::vector<DecodeSample>& samples) {
+  LatencyFit fit;
+  if (samples.size() < 2) {
+    return fit;
+  }
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (const DecodeSample& sample : samples) {
+    rows.push_back(DecodeFeatures(model, sample.context_tokens));
+    y.push_back(sample.latency);
+  }
+  std::vector<double> solution = SolveLeastSquares(rows, y);
+  if (solution.size() != 2) {
+    return fit;
+  }
+  fit.c_compute = 0.0;
+  fit.c_attn = solution[0];
+  fit.c_fixed = solution[1];
+  std::vector<double> predicted;
+  for (const DecodeSample& sample : samples) {
+    predicted.push_back(PredictDecode(fit, model, sample.context_tokens));
+  }
+  fit.r_squared = RSquared(predicted, y);
+  fit.ok = true;
+  return fit;
+}
+
+Duration PredictPrefill(const LatencyFit& fit, const ModelSpec& model, int64_t tokens,
+                        double sq_sum_tokens, int flash_block_size) {
+  std::vector<double> f = PrefillFeatures(model, tokens, sq_sum_tokens, flash_block_size);
+  return fit.c_compute * f[0] + fit.c_attn * f[1] + fit.c_fixed;
+}
+
+Duration PredictDecode(const LatencyFit& fit, const ModelSpec& model, int64_t context_tokens) {
+  std::vector<double> f = DecodeFeatures(model, context_tokens);
+  return fit.c_attn * f[0] + fit.c_fixed;
+}
+
+}  // namespace aegaeon

@@ -1,0 +1,67 @@
+// Fitting the Appendix A.2 latency model from profiled samples.
+//
+// The paper derives C1..C5 "from profiling and interpolation" and reports an
+// R-squared above 0.9 across all evaluated models. This module provides that
+// calibration path: given (workload-shape, measured-latency) samples from a
+// real or simulated engine, it solves the linear least-squares problem for
+// the constants of Eq. 5 / Eq. 6 and reports the fit quality, so the
+// simulator can be re-calibrated against any deployment's own profiles.
+
+#ifndef AEGAEON_MODEL_LATENCY_FIT_H_
+#define AEGAEON_MODEL_LATENCY_FIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "model/model_spec.h"
+#include "sim/time.h"
+
+namespace aegaeon {
+
+// One profiled prefill observation.
+struct PrefillSample {
+  int64_t tokens = 0;        // t: tokens in the batch
+  double sq_sum_tokens = 0;  // t2: squared sum of input lengths
+  Duration latency = 0.0;    // measured batch latency
+};
+
+// One profiled decode-step observation.
+struct DecodeSample {
+  int64_t context_tokens = 0;  // t: resident context across the batch
+  Duration latency = 0.0;
+};
+
+// Fitted constants for one model: latency = c_compute * F1 + c_attn * F2 + c_fixed,
+// with the feature definitions of Eq. 5 (prefill) or Eq. 6 (decode).
+struct LatencyFit {
+  double c_compute = 0.0;  // C1 (prefill GEMM) or C4 (decode weight read)
+  double c_attn = 0.0;     // C2 (prefill attention) or C5 (decode KV read)
+  double c_fixed = 0.0;    // C3 / fixed per-step overhead
+  double r_squared = 0.0;
+  bool ok = false;
+};
+
+// Fits Eq. 5 for `model` at `flash_block_size` from prefill samples.
+// Requires at least 3 samples with distinct shapes.
+LatencyFit FitPrefill(const ModelSpec& model, const std::vector<PrefillSample>& samples,
+                      int flash_block_size = 128);
+
+// Fits Eq. 6 for `model` from decode samples. The weight-read term of Eq. 6
+// is constant in t, so it merges with the fixed overhead into c_fixed
+// (c_compute reports 0); c_attn is C5.
+LatencyFit FitDecode(const ModelSpec& model, const std::vector<DecodeSample>& samples);
+
+// Predicted latencies under a fit.
+Duration PredictPrefill(const LatencyFit& fit, const ModelSpec& model, int64_t tokens,
+                        double sq_sum_tokens, int flash_block_size = 128);
+Duration PredictDecode(const LatencyFit& fit, const ModelSpec& model, int64_t context_tokens);
+
+// Solves the ordinary-least-squares problem min ||X b - y||^2 by normal
+// equations with Gaussian elimination. Returns an empty vector when the
+// system is singular. Exposed for reuse and testing.
+std::vector<double> SolveLeastSquares(const std::vector<std::vector<double>>& rows,
+                                      const std::vector<double>& y);
+
+}  // namespace aegaeon
+
+#endif  // AEGAEON_MODEL_LATENCY_FIT_H_

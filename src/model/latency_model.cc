@@ -1,0 +1,52 @@
+#include "model/latency_model.h"
+
+#include <cassert>
+
+namespace aegaeon {
+
+Duration LatencyModel::Prefill(const ModelSpec& model, int tp, int64_t tokens,
+                               double sq_sum_tokens) const {
+  assert(tp >= 1);
+  assert(tokens >= 0);
+  const double h = model.hidden_size;
+  const double m = model.ffn_intermediate;
+  const double L = model.num_layers;
+  const double flops = gpu_.effective_flops() * tp;
+
+  const double c1 = 2.0 * L / flops;
+  const double c2 = L / flops;
+  const double t = static_cast<double>(tokens);
+
+  double gemm = c1 * (4.0 * t * h * h + 2.0 * t * h * m);
+  double attn = c2 * (3.0 * h * sq_sum_tokens / flash_block_);
+  return gemm + attn + gpu_.step_overhead_s;
+}
+
+Duration LatencyModel::DecodeStep(const ModelSpec& model, int tp, int64_t context_tokens) const {
+  assert(tp >= 1);
+  assert(context_tokens >= 0);
+  const double h = model.hidden_size;
+  const double m = model.ffn_intermediate;
+  const double L = model.num_layers;
+  const double hbm = gpu_.effective_hbm() * tp;
+
+  const double c4 = L * model.dtype_bytes / hbm;
+  const double c5 = L * model.dtype_bytes / hbm;
+
+  double weights = c4 * (4.0 * h * h + 2.0 * h * m);
+  double kv_read = c5 * 3.0 * h * static_cast<double>(context_tokens);
+  return weights + kv_read + gpu_.step_overhead_s;
+}
+
+Duration LatencyModel::SwitchLoad(const ModelSpec& model, int tp) const {
+  assert(tp >= 1);
+  return model.weight_bytes() / tp / gpu_.effective_pcie();
+}
+
+Duration LatencyModel::NaiveLoad(const ModelSpec& model, int tp, double naive_bytes_per_s) const {
+  assert(tp >= 1);
+  assert(naive_bytes_per_s > 0.0);
+  return model.weight_bytes() / tp / naive_bytes_per_s;
+}
+
+}  // namespace aegaeon

@@ -1,0 +1,71 @@
+#include "model/model_spec.h"
+
+#include <sstream>
+
+namespace aegaeon {
+
+std::string KvShape::ToString() const {
+  std::ostringstream os;
+  os << "(" << layers << ", 2, " << kv_heads << ", " << head_dim << ")";
+  return os.str();
+}
+
+namespace {
+
+ModelSpec Make(std::string name, double params_b, int layers, int hidden, int ffn, int heads,
+               int kv_heads, int head_dim) {
+  ModelSpec spec;
+  spec.name = std::move(name);
+  spec.params_billion = params_b;
+  spec.num_layers = layers;
+  spec.hidden_size = hidden;
+  spec.ffn_intermediate = ffn;
+  spec.num_heads = heads;
+  spec.num_kv_heads = kv_heads;
+  spec.head_dim = head_dim;
+  return spec;
+}
+
+}  // namespace
+
+ModelSpec ModelSpec::Qwen1_8B() {
+  return Make("Qwen-1.8B", 1.8, 24, 2048, 5504, 16, 16, 128);
+}
+
+ModelSpec ModelSpec::Yi6B() {
+  return Make("Yi-6B", 6.0, 32, 4096, 11008, 32, 4, 128);
+}
+
+ModelSpec ModelSpec::Qwen7B() {
+  // Table 1 row 1: KV shape (32, 2, 32, 128) -> 512 KB/token at 16-bit.
+  return Make("Qwen-7B", 7.0, 32, 4096, 22016, 32, 32, 128);
+}
+
+ModelSpec ModelSpec::InternLm2_7B() {
+  // Table 1 row 2: KV shape (32, 2, 8, 128) -> 128 KB/token (GQA).
+  return Make("InternLM2.5-7B-chat", 7.0, 32, 4096, 14336, 32, 8, 128);
+}
+
+ModelSpec ModelSpec::Yi9B() {
+  return Make("Yi-9B", 9.0, 48, 4096, 11008, 32, 4, 128);
+}
+
+ModelSpec ModelSpec::Llama13B() {
+  // Table 1 row 3: KV shape (40, 2, 40, 128) -> 800 KB/token.
+  return Make("LLaMA-13B", 13.0, 40, 5120, 13824, 40, 40, 128);
+}
+
+ModelSpec ModelSpec::Qwen14B() {
+  return Make("Qwen-14B", 14.0, 40, 5120, 27392, 40, 40, 128);
+}
+
+ModelSpec ModelSpec::Qwen32B() {
+  return Make("Qwen-32B", 32.0, 64, 5120, 27392, 40, 8, 128);
+}
+
+ModelSpec ModelSpec::Qwen72B() {
+  // Table 1 row 4: KV shape (80, 2, 64, 128) -> 2560 KB/token.
+  return Make("Qwen-72B", 72.0, 80, 8192, 49152, 64, 64, 128);
+}
+
+}  // namespace aegaeon

@@ -1,0 +1,71 @@
+// Architecture descriptions of the LLMs served in the paper's evaluation.
+//
+// All derived quantities (weight bytes, KV-cache shape and per-token size —
+// Table 1) follow from public architecture hyperparameters, so the specs
+// below reproduce the paper's numbers exactly.
+
+#ifndef AEGAEON_MODEL_MODEL_SPEC_H_
+#define AEGAEON_MODEL_MODEL_SPEC_H_
+
+#include <cstdint>
+#include <string>
+
+namespace aegaeon {
+
+// Per-token KV-cache geometry: (layers, K/V, kv_heads, head_dim) — Table 1.
+struct KvShape {
+  int layers = 0;
+  int kv_heads = 0;
+  int head_dim = 0;
+
+  // Bytes of KV cache for a single token at the given precision.
+  double BytesPerToken(int dtype_bytes) const {
+    return static_cast<double>(layers) * 2.0 * kv_heads * head_dim * dtype_bytes;
+  }
+
+  bool operator==(const KvShape& other) const {
+    return layers == other.layers && kv_heads == other.kv_heads && head_dim == other.head_dim;
+  }
+
+  std::string ToString() const;
+};
+
+struct ModelSpec {
+  std::string name;
+  double params_billion = 0.0;
+  int num_layers = 0;
+  int hidden_size = 0;        // h in Appendix A.2
+  int ffn_intermediate = 0;   // m in Appendix A.2
+  int num_heads = 0;
+  int num_kv_heads = 0;
+  int head_dim = 0;
+  int dtype_bytes = 2;  // FP16/BF16
+
+  double weight_bytes() const { return params_billion * 1e9 * dtype_bytes; }
+
+  KvShape kv_shape() const { return KvShape{num_layers, num_kv_heads, head_dim}; }
+
+  // Per-GPU KV shard under tensor parallelism: KV heads divide across the
+  // TP ranks (at least one head per rank).
+  KvShape kv_shape_shard(int tp) const {
+    int heads = num_kv_heads / tp;
+    return KvShape{num_layers, heads < 1 ? 1 : heads, head_dim};
+  }
+
+  double kv_bytes_per_token() const { return kv_shape().BytesPerToken(dtype_bytes); }
+
+  // --- Presets (public architecture hyperparameters) -------------------
+  static ModelSpec Qwen1_8B();
+  static ModelSpec Yi6B();
+  static ModelSpec Qwen7B();        // Table 1: (32, 2, 32, 128), 512 KB/token
+  static ModelSpec InternLm2_7B();  // Table 1: (32, 2, 8, 128), 128 KB/token
+  static ModelSpec Yi9B();
+  static ModelSpec Llama13B();      // Table 1: (40, 2, 40, 128), 800 KB/token
+  static ModelSpec Qwen14B();
+  static ModelSpec Qwen32B();
+  static ModelSpec Qwen72B();       // Table 1: (80, 2, 64, 128), 2560 KB/token
+};
+
+}  // namespace aegaeon
+
+#endif  // AEGAEON_MODEL_MODEL_SPEC_H_

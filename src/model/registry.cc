@@ -1,0 +1,60 @@
+#include "model/registry.h"
+
+#include <array>
+
+namespace aegaeon {
+
+ModelId ModelRegistry::Add(ModelSpec spec, int tp, SloSpec slo) {
+  DeployedModel model;
+  model.id = static_cast<ModelId>(models_.size());
+  model.spec = std::move(spec);
+  model.tp = tp;
+  model.slo = slo;
+  models_.push_back(std::move(model));
+  return models_.back().id;
+}
+
+ModelRegistry ModelRegistry::MidSizeMarket(int count, SloSpec slo) {
+  const std::array<ModelSpec, 6> presets = {
+      ModelSpec::Qwen7B(),       ModelSpec::InternLm2_7B(), ModelSpec::Llama13B(),
+      ModelSpec::Yi6B(),         ModelSpec::Yi9B(),         ModelSpec::Qwen14B(),
+  };
+  ModelRegistry registry;
+  for (int i = 0; i < count; ++i) {
+    ModelSpec spec = presets[i % presets.size()];
+    spec.name += "#" + std::to_string(i);
+    registry.Add(std::move(spec), /*tp=*/1, slo);
+  }
+  return registry;
+}
+
+ModelRegistry ModelRegistry::LargeModelMarket(int count, SloSpec slo) {
+  ModelRegistry registry;
+  for (int i = 0; i < count; ++i) {
+    ModelSpec spec = ModelSpec::Qwen72B();
+    spec.name += "#" + std::to_string(i);
+    registry.Add(std::move(spec), /*tp=*/4, slo);
+  }
+  return registry;
+}
+
+ModelRegistry ModelRegistry::MixedSloMarket(int count, SloSpec tier_a, SloSpec tier_b) {
+  ModelRegistry registry = MidSizeMarket(count);
+  for (DeployedModel& model : registry.models_) {
+    model.slo = (model.id % 2 == 0) ? tier_a : tier_b;
+  }
+  return registry;
+}
+
+ModelRegistry ModelRegistry::SmallModelMarket(int count, SloSpec slo) {
+  const std::array<ModelSpec, 2> presets = {ModelSpec::Yi6B(), ModelSpec::InternLm2_7B()};
+  ModelRegistry registry;
+  for (int i = 0; i < count; ++i) {
+    ModelSpec spec = presets[i % presets.size()];
+    spec.name += "#" + std::to_string(i);
+    registry.Add(std::move(spec), /*tp=*/1, slo);
+  }
+  return registry;
+}
+
+}  // namespace aegaeon

@@ -1,0 +1,64 @@
+// The model market: a registry of deployed models with their parallelism and
+// SLO configuration. Experiments instantiate M models by cycling the preset
+// families (Qwen, LLaMA, InternLM, Yi — §7.1).
+
+#ifndef AEGAEON_MODEL_REGISTRY_H_
+#define AEGAEON_MODEL_REGISTRY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/slo.h"
+#include "model/model_spec.h"
+
+namespace aegaeon {
+
+using ModelId = uint32_t;
+inline constexpr ModelId kInvalidModel = static_cast<ModelId>(-1);
+
+struct DeployedModel {
+  ModelId id = kInvalidModel;
+  ModelSpec spec;
+  int tp = 1;  // tensor-parallel degree
+  SloSpec slo;
+
+  // Per-GPU weight shard size.
+  double shard_bytes() const { return spec.weight_bytes() / tp; }
+};
+
+class ModelRegistry {
+ public:
+  ModelRegistry() = default;
+
+  // Adds a model; returns its id.
+  ModelId Add(ModelSpec spec, int tp, SloSpec slo);
+
+  const DeployedModel& Get(ModelId id) const { return models_.at(id); }
+  size_t size() const { return models_.size(); }
+  const std::vector<DeployedModel>& models() const { return models_; }
+
+  // Builds a market of `count` models in the paper's primary 6B-14B band
+  // (§7.1), cycling the preset families and uniquifying names. All models
+  // share `slo` and TP=1.
+  static ModelRegistry MidSizeMarket(int count, SloSpec slo = SloSpec::Chatbot());
+
+  // Builds a market of `count` Qwen-72B models at TP=4 (§7.4 "Larger models").
+  static ModelRegistry LargeModelMarket(int count, SloSpec slo = SloSpec::Chatbot());
+
+  // Builds a market of `count` 6-7B models for the A10 study (§7.4).
+  static ModelRegistry SmallModelMarket(int count, SloSpec slo = SloSpec::Chatbot());
+
+  // Builds a mid-size market with two SLO tiers interleaved (§7.2 notes
+  // different applications — chatbots vs search recommendation — ship
+  // different targets; Algorithm 2's per-batch deadlines handle the mix).
+  // Even-indexed models get `tier_a`, odd-indexed get `tier_b`.
+  static ModelRegistry MixedSloMarket(int count, SloSpec tier_a, SloSpec tier_b);
+
+ private:
+  std::vector<DeployedModel> models_;
+};
+
+}  // namespace aegaeon
+
+#endif  // AEGAEON_MODEL_REGISTRY_H_

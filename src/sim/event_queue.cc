@@ -1,0 +1,64 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace aegaeon {
+
+EventId EventQueue::Push(TimePoint when, Callback cb) {
+  EventId id = next_seq_++;
+  heap_.push_back(Entry{when, id, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end(), Later);
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  if (id >= next_seq_) {
+    return false;
+  }
+  // Already-fired events are not tracked individually; inserting the id of a
+  // fired event is harmless (it will simply never be encountered again), but
+  // we refuse double-cancels to keep live_count_ consistent.
+  if (!cancelled_.insert(id).second) {
+    return false;
+  }
+  if (live_count_ > 0) {
+    --live_count_;
+  }
+  return true;
+}
+
+void EventQueue::SkipCancelled() {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.front().seq);
+    if (it == cancelled_.end()) {
+      return;
+    }
+    cancelled_.erase(it);
+    std::pop_heap(heap_.begin(), heap_.end(), Later);
+    heap_.pop_back();
+  }
+}
+
+TimePoint EventQueue::NextTime() {
+  SkipCancelled();
+  if (heap_.empty()) {
+    return kTimeNever;
+  }
+  return heap_.front().when;
+}
+
+TimePoint EventQueue::PopAndRun() {
+  SkipCancelled();
+  assert(!heap_.empty() && "PopAndRun on an empty EventQueue");
+  std::pop_heap(heap_.begin(), heap_.end(), Later);
+  Entry entry = std::move(heap_.back());
+  heap_.pop_back();
+  --live_count_;
+  entry.cb();
+  return entry.when;
+}
+
+}  // namespace aegaeon

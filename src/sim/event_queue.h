@@ -1,0 +1,77 @@
+// A stable priority queue of timestamped events.
+//
+// Events scheduled for the same instant fire in the order they were
+// scheduled (FIFO tie-breaking via a monotonically increasing sequence
+// number), which makes simulations fully deterministic.
+
+#ifndef AEGAEON_SIM_EVENT_QUEUE_H_
+#define AEGAEON_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace aegaeon {
+
+// Opaque handle identifying a scheduled event; usable for cancellation.
+using EventId = uint64_t;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventQueue() = default;
+
+  // Non-copyable: callbacks frequently capture `this` of other objects.
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  // Schedules `cb` to fire at absolute time `when`. Returns a handle that can
+  // be passed to Cancel().
+  EventId Push(TimePoint when, Callback cb);
+
+  // Marks the event as cancelled. Cancelled events are skipped when they
+  // reach the front of the queue. Returns false if the event already fired
+  // or was already cancelled.
+  bool Cancel(EventId id);
+
+  bool empty() const { return live_count_ == 0; }
+  size_t size() const { return live_count_; }
+
+  // Time of the earliest live event; kTimeNever when empty.
+  TimePoint NextTime();
+
+  // Pops and runs the earliest live event. Returns its timestamp.
+  // Precondition: !empty().
+  TimePoint PopAndRun();
+
+ private:
+  struct Entry {
+    TimePoint when;
+    uint64_t seq;  // doubles as the EventId
+    Callback cb;
+  };
+
+  // Min-heap comparison on (when, seq).
+  static bool Later(const Entry& a, const Entry& b) {
+    if (a.when != b.when) {
+      return a.when > b.when;
+    }
+    return a.seq > b.seq;
+  }
+
+  // Drops cancelled entries from the front of the heap.
+  void SkipCancelled();
+
+  std::vector<Entry> heap_;
+  std::unordered_set<EventId> cancelled_;
+  uint64_t next_seq_ = 0;
+  size_t live_count_ = 0;
+};
+
+}  // namespace aegaeon
+
+#endif  // AEGAEON_SIM_EVENT_QUEUE_H_

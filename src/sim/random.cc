@@ -1,0 +1,166 @@
+#include "sim/random.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace aegaeon {
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) {
+    s = SplitMix64(sm);
+  }
+}
+
+uint64_t Rng::NextU64() {
+  uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  assert(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = (0ULL - n) % n;
+  for (;;) {
+    uint64_t r = NextU64();
+    if (r >= threshold) {
+      return r % n;
+    }
+  }
+}
+
+double Rng::Exponential(double rate) {
+  assert(rate > 0.0);
+  // -log(1 - U) avoids log(0) since NextDouble() < 1.
+  return -std::log1p(-NextDouble()) / rate;
+}
+
+double Rng::CachedNormal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller transform.
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  while (u1 <= 0.0) {
+    u1 = NextDouble();
+  }
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::Normal(double mean, double stddev) { return mean + stddev * CachedNormal(); }
+
+double Rng::LogNormal(double mu, double sigma) { return std::exp(Normal(mu, sigma)); }
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+uint64_t Rng::Poisson(double mean) {
+  assert(mean >= 0.0);
+  if (mean == 0.0) {
+    return 0;
+  }
+  if (mean > 64.0) {
+    // Normal approximation with continuity correction; adequate for the
+    // workload-aggregation use cases in this repo.
+    double x = Normal(mean, std::sqrt(mean));
+    return x < 0.0 ? 0 : static_cast<uint64_t>(x + 0.5);
+  }
+  // Knuth's method.
+  double limit = std::exp(-mean);
+  double product = NextDouble();
+  uint64_t count = 0;
+  while (product > limit) {
+    ++count;
+    product *= NextDouble();
+  }
+  return count;
+}
+
+ZipfSampler::ZipfSampler(size_t n, double s) {
+  assert(n > 0);
+  pmf_.resize(n);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    pmf_[k] = 1.0 / std::pow(static_cast<double>(k + 1), s);
+    total += pmf_[k];
+  }
+  double acc = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    pmf_[k] /= total;
+    acc += pmf_[k];
+    cdf_[k] = acc;
+  }
+  cdf_.back() = 1.0;  // guard against accumulated FP error
+}
+
+size_t ZipfSampler::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  // Binary search for the first cdf entry >= u.
+  size_t lo = 0;
+  size_t hi = cdf_.size() - 1;
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+PoissonProcess::PoissonProcess(double rate, uint64_t seed) : rate_(rate), rng_(seed) {
+  assert(rate > 0.0);
+}
+
+double PoissonProcess::NextArrival() {
+  last_ += rng_.Exponential(rate_);
+  return last_;
+}
+
+std::vector<double> PoissonProcess::ArrivalsUntil(double horizon) {
+  std::vector<double> arrivals;
+  for (;;) {
+    double t = NextArrival();
+    if (t >= horizon) {
+      break;
+    }
+    arrivals.push_back(t);
+  }
+  return arrivals;
+}
+
+}  // namespace aegaeon

@@ -1,0 +1,98 @@
+// Deterministic random number generation for workload synthesis.
+//
+// Every experiment seeds its own Rng, so runs are exactly reproducible and
+// independent of the platform's std::random_device / distribution
+// implementations (libstdc++ and libc++ produce different streams for the
+// standard distributions; we implement our own).
+
+#ifndef AEGAEON_SIM_RANDOM_H_
+#define AEGAEON_SIM_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace aegaeon {
+
+// xoshiro256++ by Blackman & Vigna (public domain reference implementation),
+// seeded via SplitMix64.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t NextU64();
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // Uniform in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Uniform integer in [0, n). Precondition: n > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  // Exponential with the given rate (mean 1/rate). Precondition: rate > 0.
+  double Exponential(double rate);
+
+  // Normal(mean, stddev) via Box-Muller.
+  double Normal(double mean, double stddev);
+
+  // LogNormal with the given *underlying* normal parameters mu / sigma.
+  double LogNormal(double mu, double sigma);
+
+  // True with probability p.
+  bool Bernoulli(double p);
+
+  // Poisson-distributed count with the given mean (Knuth's method for small
+  // means, normal approximation above 64).
+  uint64_t Poisson(double mean);
+
+ private:
+  double CachedNormal();
+
+  uint64_t state_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+// Samples from a Zipf(s) distribution over ranks {0, .., n-1}: rank k has
+// probability proportional to 1/(k+1)^s. Used to synthesize the heavy-tailed
+// model-popularity distribution of Figure 1(a).
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s);
+
+  size_t Sample(Rng& rng) const;
+
+  // Probability mass of rank k.
+  double Pmf(size_t k) const { return pmf_[k]; }
+
+ private:
+  std::vector<double> cdf_;
+  std::vector<double> pmf_;
+};
+
+// Generates the arrival times of a (possibly rate-modulated) Poisson process.
+class PoissonProcess {
+ public:
+  // Homogeneous process with the given rate (events/second).
+  PoissonProcess(double rate, uint64_t seed);
+
+  // Next arrival strictly after the previous one; the first call returns the
+  // first arrival after time 0.
+  double NextArrival();
+
+  // All arrivals in [0, horizon).
+  std::vector<double> ArrivalsUntil(double horizon);
+
+  double rate() const { return rate_; }
+
+ private:
+  double rate_;
+  double last_ = 0.0;
+  Rng rng_;
+};
+
+}  // namespace aegaeon
+
+#endif  // AEGAEON_SIM_RANDOM_H_

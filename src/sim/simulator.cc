@@ -1,0 +1,41 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace aegaeon {
+
+EventId Simulator::At(TimePoint when, EventQueue::Callback cb) {
+  return queue_.Push(std::max(when, now_), std::move(cb));
+}
+
+EventId Simulator::After(Duration delay, EventQueue::Callback cb) {
+  return At(now_ + std::max(delay, 0.0), std::move(cb));
+}
+
+uint64_t Simulator::Run() {
+  uint64_t processed = 0;
+  while (!queue_.empty()) {
+    // Advance the clock *before* running the callback so that Now() inside
+    // it reports the event's own timestamp.
+    now_ = queue_.NextTime();
+    queue_.PopAndRun();
+    ++processed;
+  }
+  events_processed_ += processed;
+  return processed;
+}
+
+uint64_t Simulator::RunUntil(TimePoint horizon) {
+  uint64_t processed = 0;
+  while (!queue_.empty() && queue_.NextTime() <= horizon) {
+    now_ = queue_.NextTime();
+    queue_.PopAndRun();
+    ++processed;
+  }
+  now_ = std::max(now_, horizon);
+  events_processed_ += processed;
+  return processed;
+}
+
+}  // namespace aegaeon

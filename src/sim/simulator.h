@@ -1,0 +1,56 @@
+// The discrete-event simulator driving every experiment in this repository.
+//
+// A Simulator owns the clock and the event queue. Components schedule work
+// with At()/After() and query Now(). Run() drains events until the queue is
+// empty or a configured horizon is reached.
+
+#ifndef AEGAEON_SIM_SIMULATOR_H_
+#define AEGAEON_SIM_SIMULATOR_H_
+
+#include <cstdint>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace aegaeon {
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  TimePoint Now() const { return now_; }
+
+  // Schedules `cb` at absolute time `when`. Scheduling in the past is a
+  // programming error; the event is clamped to Now() to keep time monotonic.
+  EventId At(TimePoint when, EventQueue::Callback cb);
+
+  // Schedules `cb` after `delay` seconds (negative delays clamp to zero).
+  EventId After(Duration delay, EventQueue::Callback cb);
+
+  bool Cancel(EventId id) { return queue_.Cancel(id); }
+
+  // Runs until the queue is empty. Returns the number of events processed.
+  uint64_t Run();
+
+  // Runs until the queue is empty or the clock passes `horizon`, whichever
+  // comes first. Events scheduled beyond the horizon are left unprocessed and
+  // the clock is set to the horizon.
+  uint64_t RunUntil(TimePoint horizon);
+
+  // Number of events processed so far across all Run* calls.
+  uint64_t events_processed() const { return events_processed_; }
+
+  bool pending() const { return !queue_.empty(); }
+
+ private:
+  EventQueue queue_;
+  TimePoint now_ = 0.0;
+  uint64_t events_processed_ = 0;
+};
+
+}  // namespace aegaeon
+
+#endif  // AEGAEON_SIM_SIMULATOR_H_

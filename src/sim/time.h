@@ -1,0 +1,34 @@
+// Time primitives for the discrete-event simulator.
+//
+// All simulated time is measured in seconds as a double. The simulator never
+// compares times for exact equality except against the sentinel values below,
+// so double precision is sufficient for multi-day horizons at microsecond
+// resolution.
+
+#ifndef AEGAEON_SIM_TIME_H_
+#define AEGAEON_SIM_TIME_H_
+
+#include <limits>
+
+namespace aegaeon {
+
+// A point in simulated time, in seconds since simulation start.
+using TimePoint = double;
+
+// A span of simulated time, in seconds.
+using Duration = double;
+
+// Sentinel meaning "never" / "not yet scheduled".
+inline constexpr TimePoint kTimeNever = std::numeric_limits<double>::infinity();
+
+// Sentinel meaning "before the simulation started".
+inline constexpr TimePoint kTimeUnset = -1.0;
+
+inline constexpr Duration kMillisecond = 1e-3;
+inline constexpr Duration kMicrosecond = 1e-6;
+inline constexpr Duration kMinute = 60.0;
+inline constexpr Duration kHour = 3600.0;
+
+}  // namespace aegaeon
+
+#endif  // AEGAEON_SIM_TIME_H_

@@ -1,0 +1,50 @@
+#include "workload/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace aegaeon {
+
+Dataset::Dataset(std::string name, double input_mu, double input_sigma, double output_mu,
+                 double output_sigma, double input_scale, double output_scale)
+    : name_(std::move(name)),
+      input_mu_(input_mu),
+      input_sigma_(input_sigma),
+      output_mu_(output_mu),
+      output_sigma_(output_sigma),
+      input_scale_(input_scale),
+      output_scale_(output_scale) {}
+
+LengthSample Dataset::Sample(Rng& rng) const {
+  double prompt = rng.LogNormal(input_mu_, input_sigma_) * input_scale_;
+  double output = rng.LogNormal(output_mu_, output_sigma_) * output_scale_;
+  LengthSample sample;
+  sample.prompt_tokens = std::clamp<int64_t>(static_cast<int64_t>(prompt), kMinLen, kMaxPrompt);
+  sample.output_tokens = std::clamp<int64_t>(static_cast<int64_t>(output), kMinLen, kMaxOutput);
+  return sample;
+}
+
+double Dataset::MeanPrompt() const {
+  return std::exp(input_mu_ + input_sigma_ * input_sigma_ / 2.0) * input_scale_;
+}
+
+double Dataset::MeanOutput() const {
+  return std::exp(output_mu_ + output_sigma_ * output_sigma_ / 2.0) * output_scale_;
+}
+
+Dataset Dataset::ShareGpt() {
+  // Log-normal fit: mean prompt = e^(4.5 + 0.605) ~ 165 tokens, mean output
+  // = e^(5.25 + 0.405) ~ 286 tokens, matching published ShareGPT stats.
+  return Dataset("ShareGPT", 4.5, 1.1, 5.25, 0.9);
+}
+
+Dataset Dataset::ShareGptIx2() {
+  return Dataset("ShareGPT-ix2", 4.5, 1.1, 5.25, 0.9, /*input_scale=*/2.0, /*output_scale=*/1.0);
+}
+
+Dataset Dataset::ShareGptOx2() {
+  return Dataset("ShareGPT-ox2", 4.5, 1.1, 5.25, 0.9, /*input_scale=*/1.0, /*output_scale=*/2.0);
+}
+
+}  // namespace aegaeon

@@ -1,0 +1,63 @@
+// Request length distributions (§7.1 "Datasets and workloads").
+//
+// The paper samples prompts/outputs from ShareGPT and two scaled variants
+// (ShareGPT-ix2: inputs x2; ShareGPT-ox2: outputs x2). The dataset files are
+// not available offline, so we sample from log-normal fits of the published
+// ShareGPT statistics (mean input ~161 tokens, mean output ~338 tokens,
+// heavy upper tail). What the schedulers are sensitive to is the *shape* —
+// long-tailed output lengths drive long service times and HOL blocking —
+// which the fit preserves.
+
+#ifndef AEGAEON_WORKLOAD_DATASET_H_
+#define AEGAEON_WORKLOAD_DATASET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sim/random.h"
+
+namespace aegaeon {
+
+struct LengthSample {
+  int64_t prompt_tokens;
+  int64_t output_tokens;
+};
+
+class Dataset {
+ public:
+  // Log-normal parameters of the underlying normals, plus linear scale
+  // factors for the -ix2 / -ox2 variants.
+  Dataset(std::string name, double input_mu, double input_sigma, double output_mu,
+          double output_sigma, double input_scale = 1.0, double output_scale = 1.0);
+
+  LengthSample Sample(Rng& rng) const;
+
+  // Mean lengths of the configured distribution (after scaling and before
+  // clamping), for load estimation.
+  double MeanPrompt() const;
+  double MeanOutput() const;
+
+  const std::string& name() const { return name_; }
+
+  static Dataset ShareGpt();
+  static Dataset ShareGptIx2();
+  static Dataset ShareGptOx2();
+
+  // Length clamps (tokens).
+  static constexpr int64_t kMinLen = 4;
+  static constexpr int64_t kMaxPrompt = 8192;
+  static constexpr int64_t kMaxOutput = 4096;
+
+ private:
+  std::string name_;
+  double input_mu_;
+  double input_sigma_;
+  double output_mu_;
+  double output_sigma_;
+  double input_scale_;
+  double output_scale_;
+};
+
+}  // namespace aegaeon
+
+#endif  // AEGAEON_WORKLOAD_DATASET_H_

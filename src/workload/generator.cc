@@ -1,0 +1,111 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aegaeon {
+namespace {
+
+void SortByTime(std::vector<ArrivalEvent>& events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const ArrivalEvent& a, const ArrivalEvent& b) { return a.time < b.time; });
+}
+
+}  // namespace
+
+std::vector<ArrivalEvent> GeneratePoisson(const ModelRegistry& registry, double rps_per_model,
+                                          Duration horizon, const Dataset& dataset,
+                                          uint64_t seed) {
+  std::vector<ArrivalEvent> events;
+  Rng len_rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  for (const DeployedModel& model : registry.models()) {
+    PoissonProcess process(rps_per_model, seed + model.id * 7919);
+    for (double t : process.ArrivalsUntil(horizon)) {
+      LengthSample lengths = dataset.Sample(len_rng);
+      events.push_back(ArrivalEvent{t, model.id, lengths.prompt_tokens, lengths.output_tokens});
+    }
+  }
+  SortByTime(events);
+  return events;
+}
+
+std::vector<ArrivalEvent> GenerateSkewed(const ModelRegistry& registry, double total_rps,
+                                         double zipf_s, Duration horizon, const Dataset& dataset,
+                                         uint64_t seed) {
+  std::vector<ArrivalEvent> events;
+  ZipfSampler zipf(registry.size(), zipf_s);
+  Rng len_rng(seed ^ 0x5bf0a8b1457eefc3ULL);
+  PoissonProcess process(total_rps, seed);
+  Rng pick_rng(seed + 17);
+  for (double t : process.ArrivalsUntil(horizon)) {
+    size_t rank = zipf.Sample(pick_rng);
+    LengthSample lengths = dataset.Sample(len_rng);
+    events.push_back(ArrivalEvent{t, static_cast<ModelId>(rank), lengths.prompt_tokens,
+                                  lengths.output_tokens});
+  }
+  SortByTime(events);
+  return events;
+}
+
+std::vector<ArrivalEvent> GenerateDiurnal(const ModelRegistry& registry, double mean_rps,
+                                          Duration horizon, Duration period, double amplitude,
+                                          const Dataset& dataset, uint64_t seed) {
+  std::vector<ArrivalEvent> events;
+  Rng len_rng(seed ^ 0x7c3a4f5b92ULL);
+  const double rate_max = mean_rps * (1.0 + amplitude);
+  for (const DeployedModel& model : registry.models()) {
+    // Thinning: candidate arrivals at rate_max, accepted with probability
+    // rate(t)/rate_max.
+    PoissonProcess process(rate_max, seed + model.id * 6151 + 3);
+    Rng accept_rng(seed + model.id * 104729 + 7);
+    double phase = 2.0 * M_PI * model.id / std::max<size_t>(1, registry.size());
+    for (double t : process.ArrivalsUntil(horizon)) {
+      double rate = mean_rps * (1.0 + amplitude * std::sin(2.0 * M_PI * t / period + phase));
+      if (accept_rng.NextDouble() * rate_max <= rate) {
+        LengthSample lengths = dataset.Sample(len_rng);
+        events.push_back(ArrivalEvent{t, model.id, lengths.prompt_tokens, lengths.output_tokens});
+      }
+    }
+  }
+  SortByTime(events);
+  return events;
+}
+
+void AddBurst(std::vector<ArrivalEvent>& events, const ModelRegistry& registry, ModelId model,
+              double burst_rps, TimePoint start, Duration length, const Dataset& dataset,
+              uint64_t seed) {
+  (void)registry;
+  Rng len_rng(seed ^ 0xa3c59ac2ULL);
+  PoissonProcess process(burst_rps, seed + 101);
+  for (double t : process.ArrivalsUntil(length)) {
+    LengthSample lengths = dataset.Sample(len_rng);
+    events.push_back(
+        ArrivalEvent{start + t, model, lengths.prompt_tokens, lengths.output_tokens});
+  }
+  SortByTime(events);
+}
+
+std::vector<uint64_t> CountPerModel(const std::vector<ArrivalEvent>& events, size_t model_count) {
+  std::vector<uint64_t> counts(model_count, 0);
+  for (const ArrivalEvent& event : events) {
+    if (event.model < model_count) {
+      counts[event.model]++;
+    }
+  }
+  return counts;
+}
+
+std::vector<double> RateSeries(const std::vector<ArrivalEvent>& events, Duration horizon,
+                               Duration bucket) {
+  size_t buckets = static_cast<size_t>(horizon / bucket) + 1;
+  std::vector<double> series(buckets, 0.0);
+  for (const ArrivalEvent& event : events) {
+    size_t index = static_cast<size_t>(event.time / bucket);
+    if (index < buckets) {
+      series[index] += 1.0 / bucket;
+    }
+  }
+  return series;
+}
+
+}  // namespace aegaeon

@@ -1,0 +1,55 @@
+// Workload synthesis: per-model Poisson arrivals (the model behind
+// Theorem 3.1), Zipf-skewed market popularity (Figure 1a), and square-wave
+// burst overlays (Figure 1b).
+
+#ifndef AEGAEON_WORKLOAD_GENERATOR_H_
+#define AEGAEON_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/request.h"
+#include "model/registry.h"
+#include "sim/random.h"
+#include "workload/dataset.h"
+
+namespace aegaeon {
+
+// Uniform per-model Poisson workload: every model in `registry` receives
+// requests at `rps_per_model`, with lengths drawn from `dataset`, over
+// [0, horizon). Events are returned sorted by arrival time.
+std::vector<ArrivalEvent> GeneratePoisson(const ModelRegistry& registry, double rps_per_model,
+                                          Duration horizon, const Dataset& dataset, uint64_t seed);
+
+// Market-skewed workload: total arrival rate `total_rps` split across the
+// registry's models by a Zipf(s) popularity distribution (Figure 1a's heavy
+// tail uses s ~ 1.8).
+std::vector<ArrivalEvent> GenerateSkewed(const ModelRegistry& registry, double total_rps,
+                                         double zipf_s, Duration horizon, const Dataset& dataset,
+                                         uint64_t seed);
+
+// Diurnal workload: a nonhomogeneous Poisson process per model with rate
+//   rate(t) = mean_rps * (1 + amplitude * sin(2*pi*t/period + phase_m))
+// sampled by thinning. `amplitude` in [0, 1); each model gets a deterministic
+// phase offset so peaks are staggered (the production pattern behind the
+// Figure 18 utilization wave).
+std::vector<ArrivalEvent> GenerateDiurnal(const ModelRegistry& registry, double mean_rps,
+                                          Duration horizon, Duration period, double amplitude,
+                                          const Dataset& dataset, uint64_t seed);
+
+// Adds a burst for `model`: extra Poisson arrivals at `burst_rps` during
+// [start, start + length). The result is re-sorted.
+void AddBurst(std::vector<ArrivalEvent>& events, const ModelRegistry& registry, ModelId model,
+              double burst_rps, TimePoint start, Duration length, const Dataset& dataset,
+              uint64_t seed);
+
+// Per-model request counts of a trace (for the Figure 1a CDF).
+std::vector<uint64_t> CountPerModel(const std::vector<ArrivalEvent>& events, size_t model_count);
+
+// Arrival rate time series of a trace in `bucket` second bins (Figure 1b).
+std::vector<double> RateSeries(const std::vector<ArrivalEvent>& events, Duration horizon,
+                               Duration bucket);
+
+}  // namespace aegaeon
+
+#endif  // AEGAEON_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,70 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace aegaeon {
+
+void WriteTrace(std::ostream& os, const std::vector<ArrivalEvent>& events) {
+  os << "time,model,prompt_tokens,output_tokens\n";
+  os.precision(9);
+  for (const ArrivalEvent& event : events) {
+    os << event.time << ',' << event.model << ',' << event.prompt_tokens << ','
+       << event.output_tokens << '\n';
+  }
+}
+
+bool WriteTraceFile(const std::string& path, const std::vector<ArrivalEvent>& events) {
+  std::ofstream file(path);
+  if (!file) {
+    return false;
+  }
+  WriteTrace(file, events);
+  return static_cast<bool>(file);
+}
+
+bool ReadTrace(std::istream& is, std::vector<ArrivalEvent>& events) {
+  events.clear();
+  std::string line;
+  if (!std::getline(is, line)) {
+    return false;  // missing header
+  }
+  if (line != "time,model,prompt_tokens,output_tokens") {
+    return false;
+  }
+  while (std::getline(is, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream row(line);
+    ArrivalEvent event;
+    char c1 = 0;
+    char c2 = 0;
+    char c3 = 0;
+    if (!(row >> event.time >> c1 >> event.model >> c2 >> event.prompt_tokens >> c3 >>
+          event.output_tokens) ||
+        c1 != ',' || c2 != ',' || c3 != ',') {
+      events.clear();
+      return false;
+    }
+    if (event.time < 0.0 || event.prompt_tokens < 0 || event.output_tokens < 1) {
+      events.clear();
+      return false;
+    }
+    events.push_back(event);
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const ArrivalEvent& a, const ArrivalEvent& b) { return a.time < b.time; });
+  return true;
+}
+
+bool ReadTraceFile(const std::string& path, std::vector<ArrivalEvent>& events) {
+  std::ifstream file(path);
+  if (!file) {
+    return false;
+  }
+  return ReadTrace(file, events);
+}
+
+}  // namespace aegaeon

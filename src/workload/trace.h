@@ -1,0 +1,28 @@
+// Workload trace persistence: save/load arrival traces as CSV so
+// experiments can be replayed bit-exactly across systems and runs.
+//
+// Format (header line + one row per request):
+//   time,model,prompt_tokens,output_tokens
+
+#ifndef AEGAEON_WORKLOAD_TRACE_H_
+#define AEGAEON_WORKLOAD_TRACE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/request.h"
+
+namespace aegaeon {
+
+void WriteTrace(std::ostream& os, const std::vector<ArrivalEvent>& events);
+bool WriteTraceFile(const std::string& path, const std::vector<ArrivalEvent>& events);
+
+// Parses a trace; returns false (and leaves `events` empty) on malformed
+// input. Rows must be sorted by time; unsorted rows are sorted on load.
+bool ReadTrace(std::istream& is, std::vector<ArrivalEvent>& events);
+bool ReadTraceFile(const std::string& path, std::vector<ArrivalEvent>& events);
+
+}  // namespace aegaeon
+
+#endif  // AEGAEON_WORKLOAD_TRACE_H_

@@ -1,0 +1,113 @@
+// Failure-injection tests: the proxy layer's fault tolerance (§3.3).
+// Instances crash mid-run and recover; every request must still complete,
+// tokens are never double-counted, and host-resident KV survives while
+// device-resident KV is recomputed.
+
+#include <gtest/gtest.h>
+
+#include "analysis/stats.h"
+#include "core/cluster.h"
+#include "hw/gpu_spec.h"
+#include "model/registry.h"
+#include "workload/dataset.h"
+#include "workload/generator.h"
+
+namespace aegaeon {
+namespace {
+
+AegaeonConfig Config(int prefill = 2, int decode = 3) {
+  AegaeonConfig config;
+  config.prefill_instances = prefill;
+  config.decode_instances = decode;
+  return config;
+}
+
+std::vector<ArrivalEvent> Trace(const ModelRegistry& registry, double rps = 0.1,
+                                double horizon = 150.0, uint64_t seed = 33) {
+  return GeneratePoisson(registry, rps, horizon, Dataset::ShareGpt(), seed);
+}
+
+void CheckIntegrity(const AegaeonCluster& cluster) {
+  for (const Request& r : cluster.requests()) {
+    EXPECT_TRUE(r.finished()) << "request " << r.id << " never completed";
+    EXPECT_EQ(r.generated, r.output_tokens);
+    EXPECT_LE(r.tokens_met, r.output_tokens);
+    EXPECT_GE(r.completion, r.arrival);
+  }
+}
+
+TEST(FaultToleranceTest, PrefillFailureRecovers) {
+  ModelRegistry registry = ModelRegistry::MidSizeMarket(8);
+  AegaeonCluster cluster(Config(), registry, GpuSpec::H800());
+  cluster.ScheduleFailure(/*prefill_partition=*/true, /*index=*/0, /*when=*/40.0,
+                          /*downtime=*/20.0);
+  RunMetrics metrics = cluster.Run(Trace(registry));
+  EXPECT_EQ(metrics.completed_requests, metrics.total_requests);
+  CheckIntegrity(cluster);
+}
+
+TEST(FaultToleranceTest, DecodeFailureRecomputesAndCompletes) {
+  ModelRegistry registry = ModelRegistry::MidSizeMarket(8);
+  AegaeonCluster cluster(Config(), registry, GpuSpec::H800());
+  cluster.ScheduleFailure(/*prefill_partition=*/false, /*index=*/1, /*when=*/60.0,
+                          /*downtime=*/15.0);
+  RunMetrics metrics = cluster.Run(Trace(registry));
+  EXPECT_EQ(metrics.completed_requests, metrics.total_requests);
+  CheckIntegrity(cluster);
+}
+
+TEST(FaultToleranceTest, SimultaneousFailuresAcrossPartitions) {
+  ModelRegistry registry = ModelRegistry::MidSizeMarket(10);
+  AegaeonCluster cluster(Config(2, 3), registry, GpuSpec::H800());
+  cluster.ScheduleFailure(true, 1, 50.0, 30.0);
+  cluster.ScheduleFailure(false, 0, 50.0, 30.0);
+  cluster.ScheduleFailure(false, 2, 80.0, 10.0);
+  RunMetrics metrics = cluster.Run(Trace(registry));
+  EXPECT_EQ(metrics.completed_requests, metrics.total_requests);
+  CheckIntegrity(cluster);
+}
+
+TEST(FaultToleranceTest, FailureDegradesButDoesNotDestroyAttainment) {
+  ModelRegistry registry = ModelRegistry::MidSizeMarket(8);
+  auto trace = Trace(registry, 0.08, 200.0);
+
+  AegaeonCluster healthy(Config(), registry, GpuSpec::H800());
+  double base = healthy.Run(trace).SloAttainment();
+
+  AegaeonCluster faulty(Config(), registry, GpuSpec::H800());
+  faulty.ScheduleFailure(false, 0, 60.0, 20.0);
+  double with_fault = faulty.Run(trace).SloAttainment();
+
+  EXPECT_LE(with_fault, base + 1e-9);
+  // A single 20 s outage of one of five instances must not collapse SLOs.
+  EXPECT_GT(with_fault, base - 0.35);
+  EXPECT_GT(with_fault, 0.5);
+}
+
+TEST(FaultToleranceTest, RepeatedFailuresOfSameUnit) {
+  ModelRegistry registry = ModelRegistry::MidSizeMarket(6);
+  AegaeonCluster cluster(Config(2, 2), registry, GpuSpec::H800());
+  cluster.ScheduleFailure(false, 0, 30.0, 10.0);
+  cluster.ScheduleFailure(false, 0, 70.0, 10.0);
+  cluster.ScheduleFailure(false, 0, 110.0, 10.0);
+  RunMetrics metrics = cluster.Run(Trace(registry));
+  EXPECT_EQ(metrics.completed_requests, metrics.total_requests);
+  CheckIntegrity(cluster);
+}
+
+TEST(FaultToleranceTest, DeterministicWithFailures) {
+  ModelRegistry registry = ModelRegistry::MidSizeMarket(8);
+  auto trace = Trace(registry);
+  auto run = [&] {
+    AegaeonCluster cluster(Config(), registry, GpuSpec::H800());
+    cluster.ScheduleFailure(false, 1, 45.0, 25.0);
+    return cluster.Run(trace);
+  };
+  RunMetrics a = run();
+  RunMetrics b = run();
+  EXPECT_EQ(a.tokens_met, b.tokens_met);
+  EXPECT_DOUBLE_EQ(a.horizon, b.horizon);
+}
+
+}  // namespace
+}  // namespace aegaeon

@@ -1,0 +1,158 @@
+// Unit tests for the simulated hardware substrate: streams, events, PCIe
+// links, GPUs, nodes.
+
+#include <gtest/gtest.h>
+
+#include "hw/cuda_sim.h"
+#include "hw/gpu_device.h"
+#include "hw/gpu_spec.h"
+#include "hw/node.h"
+#include "hw/pcie_link.h"
+
+namespace aegaeon {
+namespace {
+
+TEST(StreamSimTest, WorkExecutesInOrder) {
+  StreamSim stream("s");
+  auto a = stream.Enqueue(0.0, 1.0);
+  auto b = stream.Enqueue(0.0, 2.0);  // submitted at 0 but queued behind a
+  EXPECT_DOUBLE_EQ(a.start, 0.0);
+  EXPECT_DOUBLE_EQ(a.end, 1.0);
+  EXPECT_DOUBLE_EQ(b.start, 1.0);
+  EXPECT_DOUBLE_EQ(b.end, 3.0);
+  EXPECT_DOUBLE_EQ(stream.horizon(), 3.0);
+  EXPECT_DOUBLE_EQ(stream.busy_time(), 3.0);
+}
+
+TEST(StreamSimTest, IdleGapWhenSubmittedLate) {
+  StreamSim stream("s");
+  stream.Enqueue(0.0, 1.0);
+  auto span = stream.Enqueue(5.0, 1.0);
+  EXPECT_DOUBLE_EQ(span.start, 5.0);
+  EXPECT_DOUBLE_EQ(stream.busy_time(), 2.0);  // the gap is not busy
+}
+
+TEST(EventSimTest, RecordCapturesHorizonAndQueryCompares) {
+  StreamSim stream("s");
+  stream.Enqueue(0.0, 2.0);
+  EventSim event = stream.Record();
+  EXPECT_FALSE(event.Query(1.0));
+  EXPECT_TRUE(event.Query(2.0));
+  // Work enqueued after the record is not captured.
+  stream.Enqueue(2.0, 5.0);
+  EXPECT_TRUE(event.Query(2.0));
+  EXPECT_DOUBLE_EQ(event.complete_at(), 2.0);
+}
+
+TEST(EventSimTest, DefaultEventIsComplete) {
+  EventSim event;
+  EXPECT_TRUE(event.Query(0.0));
+}
+
+TEST(EventSimTest, IpcHandleIsEquivalentCopy) {
+  StreamSim stream("s");
+  stream.Enqueue(0.0, 3.0);
+  EventSim event = stream.Record();
+  EventSim handle = event.IpcHandle();
+  EXPECT_DOUBLE_EQ(handle.complete_at(), event.complete_at());
+}
+
+TEST(StreamSimTest, WaitEventDefersFutureWork) {
+  StreamSim producer("p");
+  StreamSim consumer("c");
+  producer.Enqueue(0.0, 4.0);
+  EventSim done = producer.Record();
+  consumer.WaitEvent(done);  // cudaStreamWaitEvent
+  auto span = consumer.Enqueue(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(span.start, 4.0);
+  EXPECT_DOUBLE_EQ(span.end, 5.0);
+}
+
+TEST(PcieLinkTest, SameDirectionSerializes) {
+  PcieLink link(10e9, 1.0);
+  auto a = link.Transfer(0.0, 10e9, CopyDir::kHostToDevice, 1.0);
+  auto b = link.Transfer(0.0, 10e9, CopyDir::kHostToDevice, 1.0);
+  EXPECT_DOUBLE_EQ(a.end, 1.0);
+  EXPECT_DOUBLE_EQ(b.start, 1.0);
+  EXPECT_DOUBLE_EQ(b.end, 2.0);
+}
+
+TEST(PcieLinkTest, DirectionsAreFullDuplex) {
+  PcieLink link(10e9, 1.0);
+  auto h2d = link.Transfer(0.0, 10e9, CopyDir::kHostToDevice, 1.0);
+  auto d2h = link.Transfer(0.0, 10e9, CopyDir::kDeviceToHost, 1.0);
+  EXPECT_DOUBLE_EQ(h2d.start, 0.0);
+  EXPECT_DOUBLE_EQ(d2h.start, 0.0);
+}
+
+TEST(PcieLinkTest, EffectiveFractionScalesDuration) {
+  PcieLink link(32e9, 0.625);
+  auto slow = link.Transfer(0.0, 32e9, CopyDir::kHostToDevice, 0.5);
+  EXPECT_DOUBLE_EQ(slow.end - slow.start, 2.0);
+  EXPECT_DOUBLE_EQ(link.OptimizedDuration(20e9), 1.0);  // 20 GB at 20 GB/s
+}
+
+TEST(PcieLinkTest, ReadyAfterGatesStart) {
+  PcieLink link(10e9, 1.0);
+  auto span = link.Transfer(0.0, 10e9, CopyDir::kHostToDevice, 1.0, /*ready_after=*/3.0);
+  EXPECT_DOUBLE_EQ(span.start, 3.0);
+}
+
+TEST(GpuDeviceTest, CopyOccupiesStreamAndLink) {
+  GpuDevice gpu(0, GpuSpec::H800());
+  // Two copies on different streams share the H2D link direction.
+  auto a = gpu.EnqueueOptimizedCopy(gpu.compute_stream(), 0.0, 40e9, CopyDir::kHostToDevice);
+  auto b = gpu.EnqueueOptimizedCopy(gpu.prefetch_stream(), 0.0, 40e9, CopyDir::kHostToDevice);
+  EXPECT_GE(b.start, a.end);  // serialized by the link
+  EXPECT_DOUBLE_EQ(gpu.compute_stream().horizon(), a.end);
+  EXPECT_DOUBLE_EQ(gpu.prefetch_stream().horizon(), b.end);
+}
+
+TEST(GpuDeviceTest, OppositeDirectionsOverlap) {
+  GpuDevice gpu(0, GpuSpec::H800());
+  auto in = gpu.EnqueueOptimizedCopy(gpu.kv_in_stream(), 0.0, 40e9, CopyDir::kHostToDevice);
+  auto out = gpu.EnqueueOptimizedCopy(gpu.kv_out_stream(), 0.0, 40e9, CopyDir::kDeviceToHost);
+  EXPECT_DOUBLE_EQ(in.start, 0.0);
+  EXPECT_DOUBLE_EQ(out.start, 0.0);
+}
+
+TEST(GpuDeviceTest, VramAccounting) {
+  GpuDevice gpu(0, GpuSpec::A10());
+  double total = gpu.spec().vram_bytes;
+  EXPECT_TRUE(gpu.AllocVram(total / 2));
+  EXPECT_TRUE(gpu.AllocVram(total / 2));
+  EXPECT_FALSE(gpu.AllocVram(1.0));
+  EXPECT_DOUBLE_EQ(gpu.vram_free(), 0.0);
+  gpu.FreeVram(total / 4);
+  EXPECT_DOUBLE_EQ(gpu.vram_used(), total * 0.75);
+  EXPECT_DOUBLE_EQ(gpu.vram_peak(), total);
+}
+
+TEST(NodeTest, BuildsGpusWithSequentialIds) {
+  Node node(4, GpuSpec::H800(), 100.0 * kGiB, /*first_gpu_id=*/8);
+  EXPECT_EQ(node.gpu_count(), 4);
+  EXPECT_EQ(node.gpu(0).id(), 8u);
+  EXPECT_EQ(node.gpu(3).id(), 11u);
+}
+
+TEST(NodeTest, DramAccounting) {
+  Node node(1, GpuSpec::H800(), 10.0 * kGiB);
+  EXPECT_TRUE(node.AllocDram(6.0 * kGiB));
+  EXPECT_FALSE(node.AllocDram(6.0 * kGiB));
+  node.FreeDram(3.0 * kGiB);
+  EXPECT_TRUE(node.AllocDram(6.0 * kGiB));
+  EXPECT_NEAR(node.dram_free(), 1.0 * kGiB, 1.0);
+}
+
+TEST(GpuSpecTest, PresetsHaveSensibleDerivedRates) {
+  for (const GpuSpec& spec :
+       {GpuSpec::H800(), GpuSpec::H20(), GpuSpec::A10(), GpuSpec::A100()}) {
+    EXPECT_GT(spec.effective_flops(), 0.0) << spec.name;
+    EXPECT_LT(spec.effective_flops(), spec.peak_fp16_flops) << spec.name;
+    EXPECT_LT(spec.effective_hbm(), spec.hbm_bytes_per_s) << spec.name;
+    EXPECT_LT(spec.effective_pcie(), spec.pcie_bytes_per_s) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace aegaeon

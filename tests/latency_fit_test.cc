@@ -1,0 +1,110 @@
+// Tests for the Appendix A.2 latency-model fitting (least squares, feature
+// construction, R-squared).
+
+#include <gtest/gtest.h>
+
+#include "hw/gpu_spec.h"
+#include "model/latency_fit.h"
+#include "model/latency_model.h"
+#include "sim/random.h"
+
+namespace aegaeon {
+namespace {
+
+TEST(LeastSquaresTest, SolvesExactSystems) {
+  // y = 2*x1 - 3*x2 + 5.
+  std::vector<std::vector<double>> rows = {
+      {1, 0, 1}, {0, 1, 1}, {2, 2, 1}, {5, -1, 1}};
+  std::vector<double> y;
+  for (const auto& r : rows) {
+    y.push_back(2 * r[0] - 3 * r[1] + 5 * r[2]);
+  }
+  std::vector<double> solution = SolveLeastSquares(rows, y);
+  ASSERT_EQ(solution.size(), 3u);
+  EXPECT_NEAR(solution[0], 2.0, 1e-9);
+  EXPECT_NEAR(solution[1], -3.0, 1e-9);
+  EXPECT_NEAR(solution[2], 5.0, 1e-9);
+}
+
+TEST(LeastSquaresTest, SingularSystemReturnsEmpty) {
+  // Second column is a multiple of the first.
+  std::vector<std::vector<double>> rows = {{1, 2}, {2, 4}, {3, 6}};
+  std::vector<double> y = {1, 2, 3};
+  EXPECT_TRUE(SolveLeastSquares(rows, y).empty());
+}
+
+// Generate profiled samples from the analytical model (with optional noise)
+// and recover its constants.
+class FitRoundTripTest : public ::testing::Test {
+ protected:
+  ModelSpec spec_ = ModelSpec::Qwen7B();
+  LatencyModel latency_{GpuSpec::H800()};
+};
+
+TEST_F(FitRoundTripTest, PrefillFitRecoversModelExactly) {
+  std::vector<PrefillSample> samples;
+  for (int64_t tokens : {64, 128, 256, 512, 1024, 2048, 4096}) {
+    PrefillSample sample;
+    sample.tokens = tokens;
+    sample.sq_sum_tokens = static_cast<double>(tokens) * tokens;
+    sample.latency = latency_.PrefillOne(spec_, 1, tokens);
+    samples.push_back(sample);
+  }
+  LatencyFit fit = FitPrefill(spec_, samples);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_GT(fit.r_squared, 0.9999);
+  for (const PrefillSample& sample : samples) {
+    EXPECT_NEAR(PredictPrefill(fit, spec_, sample.tokens, sample.sq_sum_tokens), sample.latency,
+                sample.latency * 0.01);
+  }
+}
+
+TEST_F(FitRoundTripTest, NoisyProfilesStillFitAbovePoint9) {
+  // The paper: "this modeling achieves an R-squared score of over 0.9".
+  Rng rng(7);
+  std::vector<PrefillSample> prefill;
+  for (int i = 0; i < 60; ++i) {
+    int64_t tokens = 32 + static_cast<int64_t>(rng.UniformInt(4000));
+    PrefillSample sample;
+    sample.tokens = tokens;
+    sample.sq_sum_tokens = static_cast<double>(tokens) * tokens;
+    sample.latency =
+        latency_.PrefillOne(spec_, 1, tokens) * (1.0 + rng.Normal(0.0, 0.05));
+    prefill.push_back(sample);
+  }
+  LatencyFit pf = FitPrefill(spec_, prefill);
+  ASSERT_TRUE(pf.ok);
+  EXPECT_GT(pf.r_squared, 0.9);
+
+  std::vector<DecodeSample> decode;
+  for (int i = 0; i < 60; ++i) {
+    int64_t ctx = 128 + static_cast<int64_t>(rng.UniformInt(60000));
+    DecodeSample sample;
+    sample.context_tokens = ctx;
+    sample.latency = latency_.DecodeStep(spec_, 1, ctx) * (1.0 + rng.Normal(0.0, 0.05));
+    decode.push_back(sample);
+  }
+  LatencyFit df = FitDecode(spec_, decode);
+  ASSERT_TRUE(df.ok);
+  EXPECT_GT(df.r_squared, 0.9);
+}
+
+TEST_F(FitRoundTripTest, DecodeFitSeparatesFixedAndKvTerms) {
+  std::vector<DecodeSample> samples;
+  for (int64_t ctx : {100, 1000, 10000, 50000, 100000}) {
+    samples.push_back(DecodeSample{ctx, latency_.DecodeStep(spec_, 1, ctx)});
+  }
+  LatencyFit fit = FitDecode(spec_, samples);
+  ASSERT_TRUE(fit.ok);
+  // The fixed part is the weight read + step overhead at zero context.
+  EXPECT_NEAR(fit.c_fixed, latency_.DecodeStep(spec_, 1, 0), 1e-6);
+  EXPECT_GT(fit.c_attn, 0.0);
+}
+
+TEST_F(FitRoundTripTest, TooFewSamplesFail) {
+  EXPECT_FALSE(FitPrefill(spec_, {PrefillSample{64, 4096.0, 0.01}}).ok);
+  EXPECT_FALSE(FitDecode(spec_, {DecodeSample{64, 0.01}}).ok);
+}
+
+}  // namespace
+}  // namespace aegaeon

@@ -1,0 +1,110 @@
+// Integration test at the real-execution level: MiniAegaeon serves several
+// tiny models with token-level preemptive switching on one shared KV arena.
+// Every served request must match its dedicated, uninterrupted reference —
+// i.e. the paper's whole token-level approach is output-preserving.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "infer/mini_server.h"
+
+namespace aegaeon {
+namespace {
+
+TinyLlmConfig SmallConfig() {
+  TinyLlmConfig config;
+  config.vocab = 96;
+  config.hidden = 32;
+  config.layers = 2;
+  config.heads = 4;
+  config.kv_heads = 2;
+  config.ffn = 64;
+  return config;
+}
+
+TEST(MiniAegaeonTest, MultiModelServingIsOutputPreserving) {
+  MiniAegaeon server(/*model_count=*/3, SmallConfig(), /*arena_bytes=*/1 << 22, /*seed=*/5);
+  struct Job {
+    int model;
+    std::vector<int> prompt;
+    int max_new;
+  };
+  const std::vector<Job> jobs = {
+      {0, {1, 2, 3}, 30},   {1, {4, 5}, 25},        {2, {6, 7, 8, 9}, 40},
+      {0, {10, 11}, 15},    {1, {12, 13, 14}, 35},  {2, {15}, 20},
+  };
+  std::vector<int> ids;
+  for (const Job& job : jobs) {
+    ids.push_back(server.Submit(job.model, job.prompt, job.max_new));
+  }
+  ASSERT_TRUE(server.RunToCompletion(/*quota_tokens=*/6));
+  // Many model switches and real KV swaps must have happened.
+  EXPECT_GT(server.model_switches(), 6u);
+  EXPECT_GT(server.kv_swaps(), 6u);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const auto& request = server.request(ids[i]);
+    ASSERT_TRUE(request.done());
+    std::vector<int> reference =
+        server.DedicatedReference(jobs[i].model, jobs[i].prompt, jobs[i].max_new);
+    EXPECT_EQ(request.output, reference) << "request " << i << " diverged under preemption";
+  }
+}
+
+// Quota granularity must never change outputs, only the interleaving.
+class MiniQuotaTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MiniQuotaTest, OutputsInvariantToQuota) {
+  const int quota = GetParam();
+  MiniAegaeon server(2, SmallConfig(), 1 << 22, /*seed=*/9);
+  int a = server.Submit(0, {3, 1, 4}, 24);
+  int b = server.Submit(1, {1, 5, 9, 2}, 24);
+  ASSERT_TRUE(server.RunToCompletion(quota));
+  EXPECT_EQ(server.request(a).output, server.DedicatedReference(0, {3, 1, 4}, 24));
+  EXPECT_EQ(server.request(b).output, server.DedicatedReference(1, {1, 5, 9, 2}, 24));
+}
+
+INSTANTIATE_TEST_SUITE_P(Quotas, MiniQuotaTest, ::testing::Values(1, 2, 5, 13, 100));
+
+TEST(MiniAegaeonTest, DistinctModelsProduceDistinctOutputs) {
+  MiniAegaeon server(2, SmallConfig(), 1 << 22, /*seed=*/21);
+  int a = server.Submit(0, {7, 7}, 20);
+  int b = server.Submit(1, {7, 7}, 20);
+  ASSERT_TRUE(server.RunToCompletion(4));
+  EXPECT_NE(server.request(a).output, server.request(b).output);
+}
+
+TEST(MiniAegaeonTest, SingleModelNeedsNoSwaps) {
+  MiniAegaeon server(1, SmallConfig(), 1 << 22, /*seed=*/2);
+  server.Submit(0, {1, 2}, 16);
+  server.Submit(0, {3, 4}, 16);
+  ASSERT_TRUE(server.RunToCompletion(4));
+  EXPECT_EQ(server.model_switches(), 1u);  // the initial activation only
+  EXPECT_EQ(server.kv_swaps(), 0u);        // same model: KV stays resident
+}
+
+TEST(MiniAegaeonTest, TightArenaStillCorrectViaSwapping) {
+  // An arena sized so the two models' requests cannot be co-resident: the
+  // server must swap aggressively and still preserve outputs.
+  TinyLlmConfig config = SmallConfig();
+  size_t block = config.KvGeometry(8).BlockBytes();
+  MiniAegaeon server(2, config, block * 4 * 12, /*seed=*/31);
+  int a = server.Submit(0, {2, 4, 6}, 40);
+  int b = server.Submit(1, {8, 10, 12}, 40);
+  ASSERT_TRUE(server.RunToCompletion(5));
+  EXPECT_EQ(server.request(a).output, server.DedicatedReference(0, {2, 4, 6}, 40));
+  EXPECT_EQ(server.request(b).output, server.DedicatedReference(1, {8, 10, 12}, 40));
+  EXPECT_GT(server.kv_swaps(), 10u);
+}
+
+TEST(MiniAegaeonTest, ImpossibleArenaReportsNoProgress) {
+  TinyLlmConfig config = SmallConfig();
+  size_t block = config.KvGeometry(8).BlockBytes();
+  // Too small for even one request's resident KV (needs layers blocks).
+  MiniAegaeon server(1, config, block, /*seed=*/3);
+  server.Submit(0, {1, 2, 3, 4, 5, 6, 7, 8, 9}, 32);
+  EXPECT_FALSE(server.RunToCompletion(4));
+}
+
+}  // namespace
+}  // namespace aegaeon

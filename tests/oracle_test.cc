@@ -1,0 +1,107 @@
+// Validates Algorithm 2's closed-form quotas (Eq. 2-3) against the offline
+// oracle: an exhaustive grid search over periodic round-robin schedules.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/decode_scheduler.h"
+#include "core/oracle_scheduler.h"
+#include "sim/random.h"
+
+namespace aegaeon {
+namespace {
+
+std::vector<OracleBatch> UniformBatches(int k, double step, double tbt, double switch_cost) {
+  return std::vector<OracleBatch>(k, OracleBatch{step, tbt, switch_cost});
+}
+
+// Converts decode-scheduler inputs/quotas into oracle form.
+double AttainmentOfAlgorithm2(const std::vector<OracleBatch>& batches, double qmax) {
+  std::vector<BatchQuotaInput> inputs;
+  double c = 0.0;
+  for (const OracleBatch& b : batches) {
+    inputs.push_back(BatchQuotaInput{b.step_time, b.tbt});
+    c += b.switch_cost;
+  }
+  QuotaResult result = ComputeQuotas(inputs, c, qmax);
+  return PeriodicAttainment(batches, result.quotas);
+}
+
+TEST(OracleTest, PaperExampleIsOptimalInItsFamily) {
+  // §4.3's worked example: 3 batches, d=0.1, t=0.025, c=3 (1 s each), and
+  // QMAX=3 yields q=3 and exactly 100% attainment; the oracle agrees no
+  // periodic schedule does better.
+  auto batches = UniformBatches(3, 0.025, 0.1, 1.0);
+  double algo = AttainmentOfAlgorithm2(batches, 3.0);
+  EXPECT_NEAR(algo, 1.0, 1e-9);
+  OracleResult oracle = GridSearchQuotas(batches, GeometricGrid(0.1, 6.0, 14));
+  EXPECT_LE(algo, oracle.attainment + 1e-9);
+  EXPECT_GE(algo, oracle.attainment - 1e-9);  // both hit the 1.0 ceiling
+}
+
+TEST(OracleTest, AttainmentFormulaBasics) {
+  // One batch, no switch cost: always 100%.
+  EXPECT_DOUBLE_EQ(PeriodicAttainment({OracleBatch{0.02, 0.1, 0.0}}, {1.0}), 1.0);
+  // One batch whose step exceeds its deadline can never keep up.
+  EXPECT_LT(PeriodicAttainment({OracleBatch{0.2, 0.1, 0.0}}, {1.0}), 0.51);
+  // Larger switch costs strictly reduce attainment when below the ceiling.
+  auto tight = UniformBatches(4, 0.05, 0.1, 0.2);
+  auto tighter = UniformBatches(4, 0.05, 0.1, 1.0);
+  std::vector<Duration> quotas(4, 1.0);
+  EXPECT_GT(PeriodicAttainment(tight, quotas), PeriodicAttainment(tighter, quotas));
+}
+
+// Property sweep: Eq. 2-3 achieves at least 90% of the grid-searched oracle
+// across a spread of configurations (batch counts, step times, deadlines,
+// switch costs).
+class QuotaOptimalityTest
+    : public ::testing::TestWithParam<std::tuple<int, double, double, double>> {};
+
+TEST_P(QuotaOptimalityTest, ClosedFormNearOracle) {
+  auto [k, step, tbt, switch_cost] = GetParam();
+  auto batches = UniformBatches(k, step, tbt, switch_cost);
+  double algo = AttainmentOfAlgorithm2(batches, /*qmax=*/4.0);
+  OracleResult oracle = GridSearchQuotas(batches, GeometricGrid(0.05, 4.0, 12));
+  EXPECT_GE(algo, 0.90 * oracle.attainment)
+      << "k=" << k << " t=" << step << " d=" << tbt << " c=" << switch_cost
+      << " algo=" << algo << " oracle=" << oracle.attainment;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, QuotaOptimalityTest,
+    ::testing::Values(std::make_tuple(2, 0.015, 0.1, 0.35),
+                      std::make_tuple(3, 0.025, 0.1, 1.0),
+                      std::make_tuple(4, 0.015, 0.1, 0.5),
+                      std::make_tuple(5, 0.012, 0.1, 0.45),
+                      std::make_tuple(3, 0.03, 0.05, 0.3),
+                      std::make_tuple(4, 0.02, 0.2, 0.7),
+                      std::make_tuple(2, 0.05, 0.1, 2.0)));
+
+TEST(OracleTest, HeterogeneousBatchesAlsoNearOracle) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<OracleBatch> batches;
+    int k = 2 + static_cast<int>(rng.UniformInt(3));
+    for (int i = 0; i < k; ++i) {
+      OracleBatch b;
+      b.step_time = rng.Uniform(0.01, 0.04);
+      b.tbt = 0.1;
+      b.switch_cost = rng.Uniform(0.2, 1.0);
+      batches.push_back(b);
+    }
+    double algo = AttainmentOfAlgorithm2(batches, 4.0);
+    OracleResult oracle = GridSearchQuotas(batches, GeometricGrid(0.05, 4.0, 10));
+    EXPECT_GE(algo, 0.85 * oracle.attainment) << "trial " << trial;
+  }
+}
+
+TEST(OracleTest, GridSearchCountsEvaluations) {
+  auto batches = UniformBatches(3, 0.02, 0.1, 0.5);
+  OracleResult result = GridSearchQuotas(batches, GeometricGrid(0.1, 4.0, 5));
+  EXPECT_EQ(result.evaluated, 125u);
+  EXPECT_EQ(result.quotas.size(), 3u);
+}
+
+}  // namespace
+}  // namespace aegaeon

@@ -1,0 +1,221 @@
+// Unit tests for the discrete-event simulation core.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace aegaeon {
+namespace {
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.Push(3.0, [&] { order.push_back(3); });
+  queue.Push(1.0, [&] { order.push_back(1); });
+  queue.Push(2.0, [&] { order.push_back(2); });
+  while (!queue.empty()) {
+    queue.PopAndRun();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, SameTimestampFiresFifo) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.Push(5.0, [&order, i] { order.push_back(i); });
+  }
+  while (!queue.empty()) {
+    queue.PopAndRun();
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(EventQueueTest, NextTimeReportsEarliest) {
+  EventQueue queue;
+  EXPECT_EQ(queue.NextTime(), kTimeNever);
+  queue.Push(7.5, [] {});
+  queue.Push(2.5, [] {});
+  EXPECT_DOUBLE_EQ(queue.NextTime(), 2.5);
+}
+
+TEST(EventQueueTest, CancelSkipsEvent) {
+  EventQueue queue;
+  bool fired = false;
+  EventId id = queue.Push(1.0, [&] { fired = true; });
+  queue.Push(2.0, [] {});
+  EXPECT_TRUE(queue.Cancel(id));
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_DOUBLE_EQ(queue.NextTime(), 2.0);
+  queue.PopAndRun();
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueueTest, DoubleCancelFails) {
+  EventQueue queue;
+  EventId id = queue.Push(1.0, [] {});
+  EXPECT_TRUE(queue.Cancel(id));
+  EXPECT_FALSE(queue.Cancel(id));
+  EXPECT_FALSE(queue.Cancel(9999));
+}
+
+TEST(SimulatorTest, ClockAdvancesWithEvents) {
+  Simulator sim;
+  std::vector<double> seen;
+  sim.At(2.0, [&] { seen.push_back(sim.Now()); });
+  sim.At(1.0, [&] {
+    seen.push_back(sim.Now());
+    sim.After(0.5, [&] { seen.push_back(sim.Now()); });
+  });
+  sim.Run();
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_DOUBLE_EQ(seen[0], 1.0);
+  EXPECT_DOUBLE_EQ(seen[1], 1.5);
+  EXPECT_DOUBLE_EQ(seen[2], 2.0);
+}
+
+TEST(SimulatorTest, SchedulingInThePastClampsToNow) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.At(5.0, [&] {
+    sim.At(1.0, [&] { fired_at = sim.Now(); });  // "in the past"
+  });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.At(static_cast<double>(i), [&] { ++fired; });
+  }
+  uint64_t processed = sim.RunUntil(5.0);
+  EXPECT_EQ(processed, 5u);
+  EXPECT_EQ(fired, 5);
+  EXPECT_DOUBLE_EQ(sim.Now(), 5.0);
+  EXPECT_TRUE(sim.pending());
+  sim.Run();
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += (a.NextU64() == b.NextU64());
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Exponential(4.0);
+  }
+  EXPECT_NEAR(sum / n, 0.25, 0.005);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(13);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.Normal(3.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.03);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(RngTest, LogNormalMean) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.LogNormal(1.0, 0.5);
+  }
+  // E[lognormal(mu, sigma)] = exp(mu + sigma^2/2).
+  EXPECT_NEAR(sum / n, std::exp(1.125), 0.03);
+}
+
+TEST(RngTest, PoissonMean) {
+  Rng rng(19);
+  for (double mean : {0.5, 4.0, 30.0, 120.0}) {
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+      sum += static_cast<double>(rng.Poisson(mean));
+    }
+    EXPECT_NEAR(sum / n, mean, mean * 0.05 + 0.02) << "mean=" << mean;
+  }
+}
+
+TEST(ZipfSamplerTest, PmfSumsToOneAndDecreases) {
+  ZipfSampler zipf(100, 1.5);
+  double total = 0.0;
+  for (size_t k = 0; k < 100; ++k) {
+    total += zipf.Pmf(k);
+    if (k > 0) {
+      EXPECT_LE(zipf.Pmf(k), zipf.Pmf(k - 1));
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfSamplerTest, SampleFrequenciesTrackPmf) {
+  ZipfSampler zipf(10, 1.2);
+  Rng rng(23);
+  std::vector<int> counts(10, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    counts[zipf.Sample(rng)]++;
+  }
+  for (size_t k = 0; k < 10; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / n, zipf.Pmf(k), 0.01);
+  }
+}
+
+TEST(PoissonProcessTest, ArrivalsAreMonotoneAndRateCorrect) {
+  PoissonProcess process(2.0, 31);
+  std::vector<double> arrivals = process.ArrivalsUntil(10000.0);
+  for (size_t i = 1; i < arrivals.size(); ++i) {
+    EXPECT_GT(arrivals[i], arrivals[i - 1]);
+  }
+  EXPECT_NEAR(static_cast<double>(arrivals.size()) / 10000.0, 2.0, 0.1);
+}
+
+}  // namespace
+}  // namespace aegaeon

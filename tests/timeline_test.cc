@@ -1,0 +1,101 @@
+// Tests for the execution timeline recorder and its Chrome trace export.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/timeline.h"
+#include "core/cluster.h"
+#include "hw/gpu_spec.h"
+#include "model/registry.h"
+#include "workload/dataset.h"
+#include "workload/generator.h"
+
+namespace aegaeon {
+namespace {
+
+TEST(TimelineTest, RecordsSpans) {
+  TimelineRecorder recorder;
+  recorder.Record(0, "prefill", "m0/r1", 1.5, 0.25);
+  recorder.Record(3, "decode", "m1 x4", 2.0, 3.0);
+  ASSERT_EQ(recorder.size(), 2u);
+  EXPECT_EQ(recorder.spans()[0].lane, 0);
+  EXPECT_EQ(recorder.spans()[1].category, "decode");
+  recorder.Clear();
+  EXPECT_EQ(recorder.size(), 0u);
+}
+
+TEST(TimelineTest, ChromeTraceIsWellFormed) {
+  TimelineRecorder recorder;
+  recorder.Record(0, "switch", "Qwen-7B", 0.5, 0.35);
+  recorder.Record(1, "prefill", "weird\"name\\", 1.0, 0.002);
+  std::ostringstream os;
+  recorder.WriteChromeTrace(os);
+  std::string out = os.str();
+  EXPECT_EQ(out.front(), '{');
+  EXPECT_EQ(out.back(), '}');
+  EXPECT_NE(out.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(out.find("\"ts\":500000"), std::string::npos);   // 0.5 s in us
+  EXPECT_NE(out.find("\"dur\":350000"), std::string::npos);  // 0.35 s in us
+  EXPECT_NE(out.find("weird\\\"name\\\\"), std::string::npos);  // escaped
+  // Balanced braces/brackets (cheap structural check).
+  int depth = 0;
+  for (char c : out) {
+    depth += (c == '{' || c == '[');
+    depth -= (c == '}' || c == ']');
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(TimelineTest, ClusterRecordsAllCategories) {
+  ModelRegistry registry = ModelRegistry::MidSizeMarket(8);
+  auto trace = GeneratePoisson(registry, 0.1, 100.0, Dataset::ShareGpt(), 13);
+  AegaeonConfig config;
+  config.prefill_instances = 2;
+  config.decode_instances = 2;
+  AegaeonCluster cluster(config, registry, GpuSpec::H800());
+  TimelineRecorder recorder;
+  cluster.AttachTimeline(&recorder);
+  cluster.Run(trace);
+
+  ASSERT_GT(recorder.size(), 0u);
+  bool saw_prefill = false;
+  bool saw_decode = false;
+  bool saw_switch = false;
+  for (const TimelineRecorder::Span& span : recorder.spans()) {
+    saw_prefill |= span.category == "prefill";
+    saw_decode |= span.category == "decode";
+    saw_switch |= span.category == "switch";
+    EXPECT_GE(span.start, 0.0);
+    EXPECT_GE(span.duration, 0.0);
+    EXPECT_GE(span.lane, 0);
+    EXPECT_LT(span.lane, 4);
+  }
+  EXPECT_TRUE(saw_prefill);
+  EXPECT_TRUE(saw_decode);
+  EXPECT_TRUE(saw_switch);
+}
+
+TEST(TimelineTest, LanesSeparatePrefillAndDecode) {
+  ModelRegistry registry = ModelRegistry::MidSizeMarket(6);
+  auto trace = GeneratePoisson(registry, 0.1, 80.0, Dataset::ShareGpt(), 14);
+  AegaeonConfig config;
+  config.prefill_instances = 1;
+  config.decode_instances = 2;
+  AegaeonCluster cluster(config, registry, GpuSpec::H800());
+  TimelineRecorder recorder;
+  cluster.AttachTimeline(&recorder);
+  cluster.Run(trace);
+  for (const TimelineRecorder::Span& span : recorder.spans()) {
+    if (span.category == "prefill") {
+      EXPECT_EQ(span.lane, 0);  // the single prefill instance
+    }
+    if (span.category == "decode") {
+      EXPECT_GE(span.lane, 1);  // decode lanes come after prefill lanes
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aegaeon

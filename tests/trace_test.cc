@@ -1,0 +1,83 @@
+// Tests for workload trace persistence (CSV round trips, error handling).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "model/registry.h"
+#include "workload/dataset.h"
+#include "workload/generator.h"
+#include "workload/trace.h"
+
+namespace aegaeon {
+namespace {
+
+TEST(TraceTest, RoundTripsExactly) {
+  ModelRegistry registry = ModelRegistry::MidSizeMarket(5);
+  auto events = GeneratePoisson(registry, 0.3, 100.0, Dataset::ShareGpt(), 77);
+  std::stringstream stream;
+  WriteTrace(stream, events);
+  std::vector<ArrivalEvent> loaded;
+  ASSERT_TRUE(ReadTrace(stream, loaded));
+  ASSERT_EQ(loaded.size(), events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_NEAR(loaded[i].time, events[i].time, 1e-6);
+    EXPECT_EQ(loaded[i].model, events[i].model);
+    EXPECT_EQ(loaded[i].prompt_tokens, events[i].prompt_tokens);
+    EXPECT_EQ(loaded[i].output_tokens, events[i].output_tokens);
+  }
+}
+
+TEST(TraceTest, RejectsMissingHeader) {
+  std::stringstream stream("1.0,0,10,20\n");
+  std::vector<ArrivalEvent> events;
+  EXPECT_FALSE(ReadTrace(stream, events));
+  EXPECT_TRUE(events.empty());
+}
+
+TEST(TraceTest, RejectsMalformedRows) {
+  std::stringstream stream("time,model,prompt_tokens,output_tokens\n1.0,0,banana,20\n");
+  std::vector<ArrivalEvent> events;
+  EXPECT_FALSE(ReadTrace(stream, events));
+  EXPECT_TRUE(events.empty());
+}
+
+TEST(TraceTest, RejectsNegativeValues) {
+  std::stringstream stream("time,model,prompt_tokens,output_tokens\n-1.0,0,10,20\n");
+  std::vector<ArrivalEvent> events;
+  EXPECT_FALSE(ReadTrace(stream, events));
+}
+
+TEST(TraceTest, SortsUnsortedRows) {
+  std::stringstream stream(
+      "time,model,prompt_tokens,output_tokens\n"
+      "5.0,1,10,20\n"
+      "1.0,0,30,40\n");
+  std::vector<ArrivalEvent> events;
+  ASSERT_TRUE(ReadTrace(stream, events));
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_DOUBLE_EQ(events[0].time, 1.0);
+  EXPECT_EQ(events[0].model, 0u);
+}
+
+TEST(TraceTest, EmptyTraceRoundTrips) {
+  std::stringstream stream;
+  WriteTrace(stream, {});
+  std::vector<ArrivalEvent> events = {ArrivalEvent{}};
+  ASSERT_TRUE(ReadTrace(stream, events));
+  EXPECT_TRUE(events.empty());
+}
+
+TEST(TraceTest, FileRoundTrip) {
+  ModelRegistry registry = ModelRegistry::MidSizeMarket(3);
+  auto events = GeneratePoisson(registry, 0.2, 50.0, Dataset::ShareGpt(), 9);
+  const std::string path = "/tmp/aegaeon_trace_test.csv";
+  ASSERT_TRUE(WriteTraceFile(path, events));
+  std::vector<ArrivalEvent> loaded;
+  ASSERT_TRUE(ReadTraceFile(path, loaded));
+  EXPECT_EQ(loaded.size(), events.size());
+  EXPECT_FALSE(ReadTraceFile("/nonexistent/path.csv", loaded));
+}
+
+}  // namespace
+}  // namespace aegaeon

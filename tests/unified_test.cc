@@ -1,0 +1,103 @@
+// Tests for the unified (non-disaggregated) scheduling baseline (§4.1).
+
+#include <gtest/gtest.h>
+
+#include "analysis/stats.h"
+#include "baselines/unified.h"
+#include "core/cluster.h"
+#include "hw/gpu_spec.h"
+#include "model/registry.h"
+#include "workload/dataset.h"
+#include "workload/generator.h"
+
+namespace aegaeon {
+namespace {
+
+std::vector<ArrivalEvent> Trace(const ModelRegistry& registry, double rps = 0.1,
+                                double horizon = 150.0) {
+  return GeneratePoisson(registry, rps, horizon, Dataset::ShareGpt(), 21);
+}
+
+TEST(UnifiedClusterTest, CompletesEveryRequestUnderBothPolicies) {
+  ModelRegistry registry = ModelRegistry::MidSizeMarket(8);
+  auto trace = Trace(registry);
+  for (UnifiedPolicy policy : {UnifiedPolicy::kPrefillFirst, UnifiedPolicy::kDecodeFirst}) {
+    UnifiedConfig config;
+    config.instances = 4;
+    config.policy = policy;
+    UnifiedCluster cluster(config, registry, GpuSpec::H800());
+    RunMetrics metrics = cluster.Run(trace);
+    EXPECT_EQ(metrics.completed_requests, metrics.total_requests);
+    for (const Request& r : cluster.requests()) {
+      EXPECT_TRUE(r.finished());
+      EXPECT_LE(r.tokens_met, r.generated);
+    }
+  }
+}
+
+TEST(UnifiedClusterTest, LowLoadMeetsSlos) {
+  ModelRegistry registry = ModelRegistry::MidSizeMarket(6);
+  auto trace = Trace(registry, 0.05);
+  UnifiedConfig config;
+  config.instances = 4;
+  UnifiedCluster cluster(config, registry, GpuSpec::H800());
+  RunMetrics metrics = cluster.Run(trace);
+  EXPECT_GT(metrics.SloAttainment(), 0.9);
+}
+
+TEST(UnifiedClusterTest, DecodeFirstHurtsTtft) {
+  // §4.1 / Figure 6(b): decode-first compromises TTFT.
+  ModelRegistry registry = ModelRegistry::MidSizeMarket(16);
+  auto trace = Trace(registry, 0.15);
+  auto run = [&](UnifiedPolicy policy) {
+    UnifiedConfig config;
+    config.instances = 6;
+    config.policy = policy;
+    UnifiedCluster cluster(config, registry, GpuSpec::H800());
+    RunMetrics metrics = cluster.Run(trace);
+    return Percentile(metrics.ttft_samples, 99);
+  };
+  double prefill_first = run(UnifiedPolicy::kPrefillFirst);
+  double decode_first = run(UnifiedPolicy::kDecodeFirst);
+  EXPECT_GT(decode_first, 2.0 * prefill_first);
+}
+
+TEST(UnifiedClusterTest, DisaggregationBeatsBothUnderBursts) {
+  // The §4.1 conclusion, as a regression test.
+  ModelRegistry registry = ModelRegistry::MidSizeMarket(20);
+  Dataset dataset = Dataset::ShareGpt();
+  auto trace = Trace(registry, 0.12, 180.0);
+  AddBurst(trace, registry, 0, 2.5, 40.0, 20.0, dataset, 5);
+  AddBurst(trace, registry, 1, 2.5, 90.0, 20.0, dataset, 6);
+
+  double unified_best = 0.0;
+  for (UnifiedPolicy policy : {UnifiedPolicy::kPrefillFirst, UnifiedPolicy::kDecodeFirst}) {
+    UnifiedConfig config;
+    config.instances = 8;
+    config.policy = policy;
+    UnifiedCluster cluster(config, registry, GpuSpec::H800());
+    unified_best = std::max(unified_best, cluster.Run(trace).SloAttainment());
+  }
+  AegaeonConfig config;
+  config.prefill_instances = 3;
+  config.decode_instances = 5;
+  AegaeonCluster aegaeon(config, registry, GpuSpec::H800());
+  double disagg = aegaeon.Run(trace).SloAttainment();
+  EXPECT_GE(disagg, unified_best);
+}
+
+TEST(UnifiedClusterTest, DeterministicAcrossRuns) {
+  ModelRegistry registry = ModelRegistry::MidSizeMarket(8);
+  auto trace = Trace(registry);
+  UnifiedConfig config;
+  config.instances = 4;
+  UnifiedCluster a(config, registry, GpuSpec::H800());
+  UnifiedCluster b(config, registry, GpuSpec::H800());
+  RunMetrics ma = a.Run(trace);
+  RunMetrics mb = b.Run(trace);
+  EXPECT_EQ(ma.tokens_met, mb.tokens_met);
+  EXPECT_DOUBLE_EQ(ma.horizon, mb.horizon);
+}
+
+}  // namespace
+}  // namespace aegaeon

@@ -1,0 +1,125 @@
+// Tests for workload synthesis: datasets, Poisson/Zipf generators, bursts.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "model/registry.h"
+#include "workload/dataset.h"
+#include "workload/generator.h"
+
+namespace aegaeon {
+namespace {
+
+TEST(DatasetTest, SampleWithinClamps) {
+  Dataset dataset = Dataset::ShareGpt();
+  Rng rng(5);
+  for (int i = 0; i < 20000; ++i) {
+    LengthSample sample = dataset.Sample(rng);
+    EXPECT_GE(sample.prompt_tokens, Dataset::kMinLen);
+    EXPECT_LE(sample.prompt_tokens, Dataset::kMaxPrompt);
+    EXPECT_GE(sample.output_tokens, Dataset::kMinLen);
+    EXPECT_LE(sample.output_tokens, Dataset::kMaxOutput);
+  }
+}
+
+TEST(DatasetTest, EmpiricalMeansTrackConfiguredMeans) {
+  Dataset dataset = Dataset::ShareGpt();
+  Rng rng(7);
+  double prompt_sum = 0.0;
+  double output_sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    LengthSample sample = dataset.Sample(rng);
+    prompt_sum += static_cast<double>(sample.prompt_tokens);
+    output_sum += static_cast<double>(sample.output_tokens);
+  }
+  // Clamping trims the upper tail slightly, so allow ~10%.
+  EXPECT_NEAR(prompt_sum / n, dataset.MeanPrompt(), dataset.MeanPrompt() * 0.10);
+  EXPECT_NEAR(output_sum / n, dataset.MeanOutput(), dataset.MeanOutput() * 0.10);
+  // Published ShareGPT ballpark: ~160 in, ~290 out.
+  EXPECT_NEAR(dataset.MeanPrompt(), 165.0, 25.0);
+  EXPECT_NEAR(dataset.MeanOutput(), 286.0, 40.0);
+}
+
+TEST(DatasetTest, ScaledVariantsScaleMeans) {
+  Dataset base = Dataset::ShareGpt();
+  Dataset ix2 = Dataset::ShareGptIx2();
+  Dataset ox2 = Dataset::ShareGptOx2();
+  EXPECT_NEAR(ix2.MeanPrompt(), 2.0 * base.MeanPrompt(), 1e-9);
+  EXPECT_NEAR(ix2.MeanOutput(), base.MeanOutput(), 1e-9);
+  EXPECT_NEAR(ox2.MeanOutput(), 2.0 * base.MeanOutput(), 1e-9);
+  EXPECT_NEAR(ox2.MeanPrompt(), base.MeanPrompt(), 1e-9);
+}
+
+TEST(GeneratorTest, PoissonWorkloadSortedAndRateCorrect) {
+  ModelRegistry registry = ModelRegistry::MidSizeMarket(10);
+  auto events = GeneratePoisson(registry, 0.2, 5000.0, Dataset::ShareGpt(), 3);
+  EXPECT_TRUE(std::is_sorted(events.begin(), events.end(),
+                             [](const ArrivalEvent& a, const ArrivalEvent& b) {
+                               return a.time < b.time;
+                             }));
+  // 10 models x 0.2 rps x 5000 s = 10000 expected.
+  EXPECT_NEAR(static_cast<double>(events.size()), 10000.0, 300.0);
+  auto counts = CountPerModel(events, registry.size());
+  for (uint64_t c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), 1000.0, 120.0);
+  }
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  ModelRegistry registry = ModelRegistry::MidSizeMarket(5);
+  auto a = GeneratePoisson(registry, 0.1, 500.0, Dataset::ShareGpt(), 99);
+  auto b = GeneratePoisson(registry, 0.1, 500.0, Dataset::ShareGpt(), 99);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].time, b[i].time);
+    EXPECT_EQ(a[i].model, b[i].model);
+    EXPECT_EQ(a[i].prompt_tokens, b[i].prompt_tokens);
+  }
+}
+
+TEST(GeneratorTest, SkewedWorkloadHasHeavyTail) {
+  // Figure 1(a): the bottom ~94% of models receive only a sliver of
+  // requests under a Zipf popularity.
+  ModelRegistry registry = ModelRegistry::MidSizeMarket(100);
+  auto events = GenerateSkewed(registry, 50.0, 1.8, 2000.0, Dataset::ShareGpt(), 11);
+  auto counts = CountPerModel(events, registry.size());
+  std::vector<uint64_t> sorted(counts);
+  std::sort(sorted.rbegin(), sorted.rend());
+  uint64_t total = std::accumulate(sorted.begin(), sorted.end(), uint64_t{0});
+  uint64_t top6 = std::accumulate(sorted.begin(), sorted.begin() + 6, uint64_t{0});
+  // The top 6% of models take the overwhelming majority of traffic.
+  EXPECT_GT(static_cast<double>(top6) / total, 0.80);
+}
+
+TEST(GeneratorTest, BurstRaisesLocalRate) {
+  ModelRegistry registry = ModelRegistry::MidSizeMarket(1);
+  auto events = GeneratePoisson(registry, 1.0, 600.0, Dataset::ShareGpt(), 4);
+  AddBurst(events, registry, 0, /*burst_rps=*/20.0, /*start=*/200.0, /*length=*/100.0,
+           Dataset::ShareGpt(), 5);
+  auto series = RateSeries(events, 600.0, 10.0);
+  // Rate inside the burst window far exceeds the base rate outside it.
+  double in_burst = series[25];   // t = 250 s
+  double outside = series[5];     // t = 50 s
+  EXPECT_GT(in_burst, outside + 10.0);
+  EXPECT_TRUE(std::is_sorted(events.begin(), events.end(),
+                             [](const ArrivalEvent& a, const ArrivalEvent& b) {
+                               return a.time < b.time;
+                             }));
+}
+
+TEST(GeneratorTest, RateSeriesIntegratesToCount) {
+  ModelRegistry registry = ModelRegistry::MidSizeMarket(3);
+  auto events = GeneratePoisson(registry, 0.5, 300.0, Dataset::ShareGpt(), 21);
+  auto series = RateSeries(events, 300.0, 5.0);
+  double integrated = 0.0;
+  for (double r : series) {
+    integrated += r * 5.0;
+  }
+  EXPECT_NEAR(integrated, static_cast<double>(events.size()), 1.0);
+}
+
+}  // namespace
+}  // namespace aegaeon

@@ -1,0 +1,304 @@
+// aegaeon_sim — command-line driver for the serving simulator.
+//
+// Runs a chosen serving system against a synthetic or replayed workload and
+// prints token-level SLO metrics. Examples:
+//
+//   aegaeon_sim --system aegaeon --models 40 --rps 0.1 --horizon 300
+//   aegaeon_sim --system sllm+ --models 40 --rps 0.1 --gpus 16
+//   aegaeon_sim --system aegaeon --trace-in workload.csv --timeline t.json
+//   aegaeon_sim --models 24 --rps 0.2 --trace-out workload.csv --dry-run
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/report.h"
+#include "analysis/stats.h"
+#include "analysis/timeline.h"
+#include "baselines/dedicated.h"
+#include "baselines/muxserve.h"
+#include "baselines/serverless_llm.h"
+#include "baselines/unified.h"
+#include "core/cluster.h"
+#include "hw/gpu_spec.h"
+#include "model/registry.h"
+#include "workload/dataset.h"
+#include "workload/generator.h"
+#include "workload/trace.h"
+
+namespace {
+
+using namespace aegaeon;
+
+struct Options {
+  std::string system = "aegaeon";  // aegaeon|sllm|sllm+|mux|dedicated|unified-pf|unified-df
+  int models = 20;
+  double rps = 0.1;
+  double horizon = 300.0;
+  int gpus = 16;
+  int prefill = 6;
+  int decode = 10;
+  std::string gpu = "h800";  // h800|h20|a10|a100
+  std::string dataset = "sharegpt";
+  uint64_t seed = 2025;
+  double slo_scale = 1.0;
+  std::string trace_in;
+  std::string trace_out;
+  std::string timeline;
+  bool dry_run = false;
+  int nodes = 1;
+  int residents = 1;
+  bool per_model = false;
+  std::string json_out;
+};
+
+void Usage() {
+  std::printf(
+      "usage: aegaeon_sim [options]\n"
+      "  --system S     aegaeon|sllm|sllm+|mux|dedicated|unified-pf|unified-df\n"
+      "  --models N     number of models in the market (default 20)\n"
+      "  --rps R        per-model Poisson arrival rate (default 0.1)\n"
+      "  --horizon T    trace length in seconds (default 300)\n"
+      "  --gpus N       GPUs for baseline systems (default 16)\n"
+      "  --prefill N    Aegaeon prefill instances (default 6)\n"
+      "  --decode N     Aegaeon decoding instances (default 10)\n"
+      "  --gpu G        h800|h20|a10|a100 (default h800)\n"
+      "  --dataset D    sharegpt|sharegpt-ix2|sharegpt-ox2 (default sharegpt)\n"
+      "  --slo-scale X  scale TTFT/TBT targets (default 1.0)\n"
+      "  --seed S       workload seed (default 2025)\n"
+      "  --trace-in F   replay a CSV trace instead of generating one\n"
+      "  --trace-out F  save the generated trace as CSV\n"
+      "  --timeline F   write a Chrome trace of instance activity (aegaeon only)\n"
+      "  --nodes N      physical nodes the Aegaeon pool spans (default 1)\n"
+      "  --residents N  co-resident models per instance (hybrid mode; default 1)\n"
+      "  --per-model    print a per-model quality report\n"
+      "  --json F       write headline metrics as JSON\n"
+      "  --dry-run      generate/save the trace and exit without serving\n");
+}
+
+GpuSpec PickGpu(const std::string& name) {
+  if (name == "h800") {
+    return GpuSpec::H800();
+  }
+  if (name == "h20") {
+    return GpuSpec::H20();
+  }
+  if (name == "a10") {
+    return GpuSpec::A10();
+  }
+  if (name == "a100") {
+    return GpuSpec::A100();
+  }
+  std::fprintf(stderr, "unknown --gpu '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+Dataset PickDataset(const std::string& name) {
+  if (name == "sharegpt") {
+    return Dataset::ShareGpt();
+  }
+  if (name == "sharegpt-ix2") {
+    return Dataset::ShareGptIx2();
+  }
+  if (name == "sharegpt-ox2") {
+    return Dataset::ShareGptOx2();
+  }
+  std::fprintf(stderr, "unknown --dataset '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+bool ParseArgs(int argc, char** argv, Options& opts) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      Usage();
+      std::exit(0);
+    } else if (arg == "--system") {
+      opts.system = next("--system");
+    } else if (arg == "--models") {
+      opts.models = std::atoi(next("--models"));
+    } else if (arg == "--rps") {
+      opts.rps = std::atof(next("--rps"));
+    } else if (arg == "--horizon") {
+      opts.horizon = std::atof(next("--horizon"));
+    } else if (arg == "--gpus") {
+      opts.gpus = std::atoi(next("--gpus"));
+    } else if (arg == "--prefill") {
+      opts.prefill = std::atoi(next("--prefill"));
+    } else if (arg == "--decode") {
+      opts.decode = std::atoi(next("--decode"));
+    } else if (arg == "--gpu") {
+      opts.gpu = next("--gpu");
+    } else if (arg == "--dataset") {
+      opts.dataset = next("--dataset");
+    } else if (arg == "--slo-scale") {
+      opts.slo_scale = std::atof(next("--slo-scale"));
+    } else if (arg == "--seed") {
+      opts.seed = std::strtoull(next("--seed"), nullptr, 10);
+    } else if (arg == "--trace-in") {
+      opts.trace_in = next("--trace-in");
+    } else if (arg == "--trace-out") {
+      opts.trace_out = next("--trace-out");
+    } else if (arg == "--timeline") {
+      opts.timeline = next("--timeline");
+    } else if (arg == "--nodes") {
+      opts.nodes = std::atoi(next("--nodes"));
+    } else if (arg == "--residents") {
+      opts.residents = std::atoi(next("--residents"));
+    } else if (arg == "--per-model") {
+      opts.per_model = true;
+    } else if (arg == "--json") {
+      opts.json_out = next("--json");
+    } else if (arg == "--dry-run") {
+      opts.dry_run = true;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return false;
+    }
+  }
+  if (opts.models <= 0 || opts.rps <= 0.0 || opts.horizon <= 0.0) {
+    std::fprintf(stderr, "--models, --rps, and --horizon must be positive\n");
+    return false;
+  }
+  return true;
+}
+
+void PrintMetrics(const std::string& system, const RunMetrics& metrics) {
+  std::printf("system:              %s\n", system.c_str());
+  std::printf("requests:            %lu (%lu completed)\n",
+              static_cast<unsigned long>(metrics.total_requests),
+              static_cast<unsigned long>(metrics.completed_requests));
+  std::printf("SLO attainment:      %.2f%%\n", metrics.SloAttainment() * 100.0);
+  std::printf("TTFT mean/p50/p99:   %.3f / %.3f / %.3f s\n", Mean(metrics.ttft_samples),
+              Percentile(metrics.ttft_samples, 50), Percentile(metrics.ttft_samples, 99));
+  std::printf("throughput:          %.3f req/s over %.1f s\n", metrics.Throughput(),
+              metrics.horizon);
+  if (!metrics.switch_latency_samples.empty()) {
+    std::printf("model switches:      %zu (mean %.0f ms, p99 %.0f ms)\n",
+                metrics.switch_latency_samples.size(),
+                Mean(metrics.switch_latency_samples) * 1000.0,
+                Percentile(metrics.switch_latency_samples, 99) * 1000.0);
+  }
+  const LatencyBreakdown& b = metrics.breakdown;
+  double total = b.Total();
+  if (total > 0.0) {
+    std::printf("latency breakdown:   pre-wait %.1f%% | pre-exec %.1f%% | dec-wait %.1f%% | "
+                "dec-exec %.1f%% | ctl %.2f%% | data %.2f%%\n",
+                100.0 * b.prefill_wait / total, 100.0 * b.prefill_exec / total,
+                100.0 * b.decode_wait / total, 100.0 * b.decode_exec / total,
+                100.0 * b.control_overhead / total, 100.0 * b.data_overhead / total);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!ParseArgs(argc, argv, opts)) {
+    Usage();
+    return 2;
+  }
+
+  GpuSpec gpu = PickGpu(opts.gpu);
+  ModelRegistry registry =
+      ModelRegistry::MidSizeMarket(opts.models, SloSpec::Chatbot().Scaled(opts.slo_scale));
+
+  std::vector<ArrivalEvent> trace;
+  if (!opts.trace_in.empty()) {
+    if (!ReadTraceFile(opts.trace_in, trace)) {
+      std::fprintf(stderr, "failed to read trace '%s'\n", opts.trace_in.c_str());
+      return 1;
+    }
+    std::printf("replaying %zu requests from %s\n", trace.size(), opts.trace_in.c_str());
+  } else {
+    trace = GeneratePoisson(registry, opts.rps, opts.horizon, PickDataset(opts.dataset),
+                            opts.seed);
+    std::printf("generated %zu requests (%d models x %.2f rps x %.0f s)\n", trace.size(),
+                opts.models, opts.rps, opts.horizon);
+  }
+  if (!opts.trace_out.empty()) {
+    if (!WriteTraceFile(opts.trace_out, trace)) {
+      std::fprintf(stderr, "failed to write trace '%s'\n", opts.trace_out.c_str());
+      return 1;
+    }
+    std::printf("trace saved to %s\n", opts.trace_out.c_str());
+  }
+  if (opts.dry_run) {
+    return 0;
+  }
+
+  if (opts.system == "aegaeon") {
+    AegaeonConfig config;
+    config.prefill_instances = opts.prefill;
+    config.decode_instances = opts.decode;
+    config.nodes = opts.nodes;
+    config.resident_models = opts.residents;
+    AegaeonCluster cluster(config, registry, gpu);
+    TimelineRecorder recorder;
+    if (!opts.timeline.empty()) {
+      cluster.AttachTimeline(&recorder);
+    }
+    RunMetrics metrics = cluster.Run(trace);
+    PrintMetrics(opts.system, metrics);
+    if (cluster.node_count() > 1) {
+      std::printf("nodes:               %d (%lu cross-node KV migrations)\n",
+                  cluster.node_count(), static_cast<unsigned long>(cluster.kv_migrations()));
+    }
+    if (opts.per_model) {
+      std::printf("\n");
+      PrintPerModelReport(std::cout, BuildPerModelReport(cluster.requests(), registry));
+    }
+    if (!opts.json_out.empty()) {
+      std::ofstream json(opts.json_out);
+      WriteMetricsJson(json, metrics);
+      std::printf("metrics JSON written to %s\n", opts.json_out.c_str());
+    }
+    if (!opts.timeline.empty()) {
+      if (recorder.WriteChromeTraceFile(opts.timeline)) {
+        std::printf("timeline (%zu spans) written to %s\n", recorder.size(),
+                    opts.timeline.c_str());
+      } else {
+        std::fprintf(stderr, "failed to write timeline '%s'\n", opts.timeline.c_str());
+      }
+    }
+  } else if (opts.system == "sllm" || opts.system == "sllm+") {
+    ServerlessLlmConfig config;
+    config.gpus = opts.gpus;
+    config.sjf = opts.system == "sllm+";
+    ServerlessLlmCluster cluster(config, registry, gpu);
+    PrintMetrics(opts.system, cluster.Run(trace));
+  } else if (opts.system == "mux") {
+    MuxServeConfig config;
+    config.gpus = opts.gpus;
+    MuxServeCluster cluster(config, registry, gpu);
+    std::printf("placement: %d of %d models placed (max %d per GPU)\n", cluster.placed_models(),
+                opts.models, cluster.max_models_per_gpu());
+    PrintMetrics(opts.system, cluster.Run(trace));
+  } else if (opts.system == "dedicated") {
+    DedicatedCluster cluster(DedicatedConfig{}, registry, gpu);
+    PrintMetrics(opts.system, cluster.Run(trace));
+  } else if (opts.system == "unified-pf" || opts.system == "unified-df") {
+    UnifiedConfig config;
+    config.instances = opts.gpus;
+    config.policy = opts.system == "unified-pf" ? UnifiedPolicy::kPrefillFirst
+                                                : UnifiedPolicy::kDecodeFirst;
+    UnifiedCluster cluster(config, registry, gpu);
+    PrintMetrics(opts.system, cluster.Run(trace));
+  } else {
+    std::fprintf(stderr, "unknown --system '%s'\n", opts.system.c_str());
+    Usage();
+    return 2;
+  }
+  return 0;
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_deployment_summary.dir/bench_deployment_summary.cc.o"
+  "CMakeFiles/bench_deployment_summary.dir/bench_deployment_summary.cc.o.d"
+  "bench_deployment_summary"
+  "bench_deployment_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_deployment_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

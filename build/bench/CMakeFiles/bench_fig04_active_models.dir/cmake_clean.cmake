@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_active_models.dir/bench_fig04_active_models.cc.o"
+  "CMakeFiles/bench_fig04_active_models.dir/bench_fig04_active_models.cc.o.d"
+  "bench_fig04_active_models"
+  "bench_fig04_active_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_active_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig06_unified_vs_disagg.
+# This may be replaced when dependencies are built.

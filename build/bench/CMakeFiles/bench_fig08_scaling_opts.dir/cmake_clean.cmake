@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_scaling_opts.dir/bench_fig08_scaling_opts.cc.o"
+  "CMakeFiles/bench_fig08_scaling_opts.dir/bench_fig08_scaling_opts.cc.o.d"
+  "bench_fig08_scaling_opts"
+  "bench_fig08_scaling_opts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_scaling_opts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_e2e_sharegpt.dir/bench_fig11_e2e_sharegpt.cc.o"
+  "CMakeFiles/bench_fig11_e2e_sharegpt.dir/bench_fig11_e2e_sharegpt.cc.o.d"
+  "bench_fig11_e2e_sharegpt"
+  "bench_fig11_e2e_sharegpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_e2e_sharegpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

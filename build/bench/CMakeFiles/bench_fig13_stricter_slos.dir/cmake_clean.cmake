@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_stricter_slos.dir/bench_fig13_stricter_slos.cc.o"
+  "CMakeFiles/bench_fig13_stricter_slos.dir/bench_fig13_stricter_slos.cc.o.d"
+  "bench_fig13_stricter_slos"
+  "bench_fig13_stricter_slos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_stricter_slos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

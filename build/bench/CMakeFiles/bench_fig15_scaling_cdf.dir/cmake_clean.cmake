@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_scaling_cdf.dir/bench_fig15_scaling_cdf.cc.o"
+  "CMakeFiles/bench_fig15_scaling_cdf.dir/bench_fig15_scaling_cdf.cc.o.d"
+  "bench_fig15_scaling_cdf"
+  "bench_fig15_scaling_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_scaling_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

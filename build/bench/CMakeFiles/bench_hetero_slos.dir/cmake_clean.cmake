@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hetero_slos.dir/bench_hetero_slos.cc.o"
+  "CMakeFiles/bench_hetero_slos.dir/bench_hetero_slos.cc.o.d"
+  "bench_hetero_slos"
+  "bench_hetero_slos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hetero_slos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

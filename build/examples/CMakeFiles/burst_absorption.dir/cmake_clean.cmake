@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/burst_absorption.dir/burst_absorption.cpp.o"
+  "CMakeFiles/burst_absorption.dir/burst_absorption.cpp.o.d"
+  "burst_absorption"
+  "burst_absorption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/burst_absorption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_preemption.dir/exact_preemption.cpp.o"
+  "CMakeFiles/exact_preemption.dir/exact_preemption.cpp.o.d"
+  "exact_preemption"
+  "exact_preemption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_preemption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

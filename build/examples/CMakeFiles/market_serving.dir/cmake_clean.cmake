@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_serving.dir/market_serving.cpp.o"
+  "CMakeFiles/market_serving.dir/market_serving.cpp.o.d"
+  "market_serving"
+  "market_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

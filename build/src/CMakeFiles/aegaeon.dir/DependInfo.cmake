@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/metrics.cc" "src/CMakeFiles/aegaeon.dir/analysis/metrics.cc.o" "gcc" "src/CMakeFiles/aegaeon.dir/analysis/metrics.cc.o.d"
+  "/root/repo/src/analysis/report.cc" "src/CMakeFiles/aegaeon.dir/analysis/report.cc.o" "gcc" "src/CMakeFiles/aegaeon.dir/analysis/report.cc.o.d"
+  "/root/repo/src/analysis/stats.cc" "src/CMakeFiles/aegaeon.dir/analysis/stats.cc.o" "gcc" "src/CMakeFiles/aegaeon.dir/analysis/stats.cc.o.d"
+  "/root/repo/src/analysis/table.cc" "src/CMakeFiles/aegaeon.dir/analysis/table.cc.o" "gcc" "src/CMakeFiles/aegaeon.dir/analysis/table.cc.o.d"
+  "/root/repo/src/analysis/theory.cc" "src/CMakeFiles/aegaeon.dir/analysis/theory.cc.o" "gcc" "src/CMakeFiles/aegaeon.dir/analysis/theory.cc.o.d"
+  "/root/repo/src/analysis/timeline.cc" "src/CMakeFiles/aegaeon.dir/analysis/timeline.cc.o" "gcc" "src/CMakeFiles/aegaeon.dir/analysis/timeline.cc.o.d"
+  "/root/repo/src/baselines/dedicated.cc" "src/CMakeFiles/aegaeon.dir/baselines/dedicated.cc.o" "gcc" "src/CMakeFiles/aegaeon.dir/baselines/dedicated.cc.o.d"
+  "/root/repo/src/baselines/model_server.cc" "src/CMakeFiles/aegaeon.dir/baselines/model_server.cc.o" "gcc" "src/CMakeFiles/aegaeon.dir/baselines/model_server.cc.o.d"
+  "/root/repo/src/baselines/muxserve.cc" "src/CMakeFiles/aegaeon.dir/baselines/muxserve.cc.o" "gcc" "src/CMakeFiles/aegaeon.dir/baselines/muxserve.cc.o.d"
+  "/root/repo/src/baselines/serverless_llm.cc" "src/CMakeFiles/aegaeon.dir/baselines/serverless_llm.cc.o" "gcc" "src/CMakeFiles/aegaeon.dir/baselines/serverless_llm.cc.o.d"
+  "/root/repo/src/baselines/unified.cc" "src/CMakeFiles/aegaeon.dir/baselines/unified.cc.o" "gcc" "src/CMakeFiles/aegaeon.dir/baselines/unified.cc.o.d"
+  "/root/repo/src/core/cluster.cc" "src/CMakeFiles/aegaeon.dir/core/cluster.cc.o" "gcc" "src/CMakeFiles/aegaeon.dir/core/cluster.cc.o.d"
+  "/root/repo/src/core/decode_scheduler.cc" "src/CMakeFiles/aegaeon.dir/core/decode_scheduler.cc.o" "gcc" "src/CMakeFiles/aegaeon.dir/core/decode_scheduler.cc.o.d"
+  "/root/repo/src/core/oracle_scheduler.cc" "src/CMakeFiles/aegaeon.dir/core/oracle_scheduler.cc.o" "gcc" "src/CMakeFiles/aegaeon.dir/core/oracle_scheduler.cc.o.d"
+  "/root/repo/src/core/prefill_scheduler.cc" "src/CMakeFiles/aegaeon.dir/core/prefill_scheduler.cc.o" "gcc" "src/CMakeFiles/aegaeon.dir/core/prefill_scheduler.cc.o.d"
+  "/root/repo/src/engine/autoscaler.cc" "src/CMakeFiles/aegaeon.dir/engine/autoscaler.cc.o" "gcc" "src/CMakeFiles/aegaeon.dir/engine/autoscaler.cc.o.d"
+  "/root/repo/src/hw/cuda_sim.cc" "src/CMakeFiles/aegaeon.dir/hw/cuda_sim.cc.o" "gcc" "src/CMakeFiles/aegaeon.dir/hw/cuda_sim.cc.o.d"
+  "/root/repo/src/hw/gpu_device.cc" "src/CMakeFiles/aegaeon.dir/hw/gpu_device.cc.o" "gcc" "src/CMakeFiles/aegaeon.dir/hw/gpu_device.cc.o.d"
+  "/root/repo/src/hw/gpu_spec.cc" "src/CMakeFiles/aegaeon.dir/hw/gpu_spec.cc.o" "gcc" "src/CMakeFiles/aegaeon.dir/hw/gpu_spec.cc.o.d"
+  "/root/repo/src/hw/node.cc" "src/CMakeFiles/aegaeon.dir/hw/node.cc.o" "gcc" "src/CMakeFiles/aegaeon.dir/hw/node.cc.o.d"
+  "/root/repo/src/hw/pcie_link.cc" "src/CMakeFiles/aegaeon.dir/hw/pcie_link.cc.o" "gcc" "src/CMakeFiles/aegaeon.dir/hw/pcie_link.cc.o.d"
+  "/root/repo/src/infer/mini_server.cc" "src/CMakeFiles/aegaeon.dir/infer/mini_server.cc.o" "gcc" "src/CMakeFiles/aegaeon.dir/infer/mini_server.cc.o.d"
+  "/root/repo/src/infer/paged_kv.cc" "src/CMakeFiles/aegaeon.dir/infer/paged_kv.cc.o" "gcc" "src/CMakeFiles/aegaeon.dir/infer/paged_kv.cc.o.d"
+  "/root/repo/src/infer/tensor.cc" "src/CMakeFiles/aegaeon.dir/infer/tensor.cc.o" "gcc" "src/CMakeFiles/aegaeon.dir/infer/tensor.cc.o.d"
+  "/root/repo/src/infer/tiny_llm.cc" "src/CMakeFiles/aegaeon.dir/infer/tiny_llm.cc.o" "gcc" "src/CMakeFiles/aegaeon.dir/infer/tiny_llm.cc.o.d"
+  "/root/repo/src/kv/transfer_engine.cc" "src/CMakeFiles/aegaeon.dir/kv/transfer_engine.cc.o" "gcc" "src/CMakeFiles/aegaeon.dir/kv/transfer_engine.cc.o.d"
+  "/root/repo/src/kv/unified_cache.cc" "src/CMakeFiles/aegaeon.dir/kv/unified_cache.cc.o" "gcc" "src/CMakeFiles/aegaeon.dir/kv/unified_cache.cc.o.d"
+  "/root/repo/src/mem/bump_allocator.cc" "src/CMakeFiles/aegaeon.dir/mem/bump_allocator.cc.o" "gcc" "src/CMakeFiles/aegaeon.dir/mem/bump_allocator.cc.o.d"
+  "/root/repo/src/mem/model_cache.cc" "src/CMakeFiles/aegaeon.dir/mem/model_cache.cc.o" "gcc" "src/CMakeFiles/aegaeon.dir/mem/model_cache.cc.o.d"
+  "/root/repo/src/mem/slab_allocator.cc" "src/CMakeFiles/aegaeon.dir/mem/slab_allocator.cc.o" "gcc" "src/CMakeFiles/aegaeon.dir/mem/slab_allocator.cc.o.d"
+  "/root/repo/src/model/latency_fit.cc" "src/CMakeFiles/aegaeon.dir/model/latency_fit.cc.o" "gcc" "src/CMakeFiles/aegaeon.dir/model/latency_fit.cc.o.d"
+  "/root/repo/src/model/latency_model.cc" "src/CMakeFiles/aegaeon.dir/model/latency_model.cc.o" "gcc" "src/CMakeFiles/aegaeon.dir/model/latency_model.cc.o.d"
+  "/root/repo/src/model/model_spec.cc" "src/CMakeFiles/aegaeon.dir/model/model_spec.cc.o" "gcc" "src/CMakeFiles/aegaeon.dir/model/model_spec.cc.o.d"
+  "/root/repo/src/model/registry.cc" "src/CMakeFiles/aegaeon.dir/model/registry.cc.o" "gcc" "src/CMakeFiles/aegaeon.dir/model/registry.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/aegaeon.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/aegaeon.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/random.cc" "src/CMakeFiles/aegaeon.dir/sim/random.cc.o" "gcc" "src/CMakeFiles/aegaeon.dir/sim/random.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/aegaeon.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/aegaeon.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/workload/dataset.cc" "src/CMakeFiles/aegaeon.dir/workload/dataset.cc.o" "gcc" "src/CMakeFiles/aegaeon.dir/workload/dataset.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/aegaeon.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/aegaeon.dir/workload/generator.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/CMakeFiles/aegaeon.dir/workload/trace.cc.o" "gcc" "src/CMakeFiles/aegaeon.dir/workload/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_test.cc" "tests/CMakeFiles/aegaeon_tests.dir/analysis_test.cc.o" "gcc" "tests/CMakeFiles/aegaeon_tests.dir/analysis_test.cc.o.d"
+  "/root/repo/tests/baselines_test.cc" "tests/CMakeFiles/aegaeon_tests.dir/baselines_test.cc.o" "gcc" "tests/CMakeFiles/aegaeon_tests.dir/baselines_test.cc.o.d"
+  "/root/repo/tests/cluster_test.cc" "tests/CMakeFiles/aegaeon_tests.dir/cluster_test.cc.o" "gcc" "tests/CMakeFiles/aegaeon_tests.dir/cluster_test.cc.o.d"
+  "/root/repo/tests/edge_test.cc" "tests/CMakeFiles/aegaeon_tests.dir/edge_test.cc.o" "gcc" "tests/CMakeFiles/aegaeon_tests.dir/edge_test.cc.o.d"
+  "/root/repo/tests/engine_test.cc" "tests/CMakeFiles/aegaeon_tests.dir/engine_test.cc.o" "gcc" "tests/CMakeFiles/aegaeon_tests.dir/engine_test.cc.o.d"
+  "/root/repo/tests/fault_test.cc" "tests/CMakeFiles/aegaeon_tests.dir/fault_test.cc.o" "gcc" "tests/CMakeFiles/aegaeon_tests.dir/fault_test.cc.o.d"
+  "/root/repo/tests/hw_test.cc" "tests/CMakeFiles/aegaeon_tests.dir/hw_test.cc.o" "gcc" "tests/CMakeFiles/aegaeon_tests.dir/hw_test.cc.o.d"
+  "/root/repo/tests/infer_test.cc" "tests/CMakeFiles/aegaeon_tests.dir/infer_test.cc.o" "gcc" "tests/CMakeFiles/aegaeon_tests.dir/infer_test.cc.o.d"
+  "/root/repo/tests/kv_test.cc" "tests/CMakeFiles/aegaeon_tests.dir/kv_test.cc.o" "gcc" "tests/CMakeFiles/aegaeon_tests.dir/kv_test.cc.o.d"
+  "/root/repo/tests/latency_fit_test.cc" "tests/CMakeFiles/aegaeon_tests.dir/latency_fit_test.cc.o" "gcc" "tests/CMakeFiles/aegaeon_tests.dir/latency_fit_test.cc.o.d"
+  "/root/repo/tests/mem_test.cc" "tests/CMakeFiles/aegaeon_tests.dir/mem_test.cc.o" "gcc" "tests/CMakeFiles/aegaeon_tests.dir/mem_test.cc.o.d"
+  "/root/repo/tests/mini_server_test.cc" "tests/CMakeFiles/aegaeon_tests.dir/mini_server_test.cc.o" "gcc" "tests/CMakeFiles/aegaeon_tests.dir/mini_server_test.cc.o.d"
+  "/root/repo/tests/model_test.cc" "tests/CMakeFiles/aegaeon_tests.dir/model_test.cc.o" "gcc" "tests/CMakeFiles/aegaeon_tests.dir/model_test.cc.o.d"
+  "/root/repo/tests/multinode_test.cc" "tests/CMakeFiles/aegaeon_tests.dir/multinode_test.cc.o" "gcc" "tests/CMakeFiles/aegaeon_tests.dir/multinode_test.cc.o.d"
+  "/root/repo/tests/oracle_test.cc" "tests/CMakeFiles/aegaeon_tests.dir/oracle_test.cc.o" "gcc" "tests/CMakeFiles/aegaeon_tests.dir/oracle_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/aegaeon_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/aegaeon_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/report_test.cc" "tests/CMakeFiles/aegaeon_tests.dir/report_test.cc.o" "gcc" "tests/CMakeFiles/aegaeon_tests.dir/report_test.cc.o.d"
+  "/root/repo/tests/scheduler_test.cc" "tests/CMakeFiles/aegaeon_tests.dir/scheduler_test.cc.o" "gcc" "tests/CMakeFiles/aegaeon_tests.dir/scheduler_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/aegaeon_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/aegaeon_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/timeline_test.cc" "tests/CMakeFiles/aegaeon_tests.dir/timeline_test.cc.o" "gcc" "tests/CMakeFiles/aegaeon_tests.dir/timeline_test.cc.o.d"
+  "/root/repo/tests/trace_test.cc" "tests/CMakeFiles/aegaeon_tests.dir/trace_test.cc.o" "gcc" "tests/CMakeFiles/aegaeon_tests.dir/trace_test.cc.o.d"
+  "/root/repo/tests/unified_test.cc" "tests/CMakeFiles/aegaeon_tests.dir/unified_test.cc.o" "gcc" "tests/CMakeFiles/aegaeon_tests.dir/unified_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/aegaeon_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/aegaeon_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aegaeon.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aegaeon_sim.dir/aegaeon_sim.cpp.o"
+  "CMakeFiles/aegaeon_sim.dir/aegaeon_sim.cpp.o.d"
+  "aegaeon_sim"
+  "aegaeon_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aegaeon_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -23,6 +23,23 @@ struct Row {
   double decode_wait_share;
 };
 
+// Builds workload A (bursty arrivals) from scratch; used inside each task.
+std::vector<ArrivalEvent> BurstyTrace(const ModelRegistry& registry) {
+  Dataset dataset = Dataset::ShareGpt();
+  auto trace = GeneratePoisson(registry, 0.12, kHorizon, dataset, kSeed);
+  for (int burst = 0; burst < 4; ++burst) {
+    AddBurst(trace, registry, static_cast<ModelId>(burst), /*burst_rps=*/3.0,
+             /*start=*/40.0 + burst * 50.0, /*length=*/15.0, dataset, kSeed + burst);
+  }
+  return trace;
+}
+
+// Builds workload B (4x-long prompts) from scratch; used inside each task.
+std::vector<ArrivalEvent> LongPromptTrace(const ModelRegistry& registry) {
+  Dataset long_inputs("ShareGPT-ix4", 4.5, 1.1, 5.25, 0.9, /*input_scale=*/4.0, 1.0);
+  return GeneratePoisson(registry, 0.12, kHorizon, long_inputs, kSeed);
+}
+
 Row RunUnified(UnifiedPolicy policy, const ModelRegistry& registry,
                const std::vector<ArrivalEvent>& trace) {
   UnifiedConfig config;
@@ -42,20 +59,16 @@ Row RunDisagg(const ModelRegistry& registry, const std::vector<ArrivalEvent>& tr
              total > 0 ? metrics.breakdown.decode_wait / total : 0.0};
 }
 
-void Report(const char* workload, const ModelRegistry& registry,
-            const std::vector<ArrivalEvent>& trace) {
-  std::printf("\n--- %s (%zu requests) ---\n", workload, trace.size());
+void Report(const char* workload, size_t request_count, const Row* rows) {
+  std::printf("\n--- %s (%zu requests) ---\n", workload, request_count);
   std::printf("%-26s %12s %14s %16s\n", "scheduler", "SLO attain", "p99 TTFT (s)",
               "decode-wait shr");
-  Row pf = RunUnified(UnifiedPolicy::kPrefillFirst, registry, trace);
-  Row df = RunUnified(UnifiedPolicy::kDecodeFirst, registry, trace);
-  Row dis = RunDisagg(registry, trace);
-  std::printf("%-26s %11.1f%% %14.2f %15.1f%%\n", "unified prefill-first",
-              pf.attainment * 100.0, pf.ttft_p99, pf.decode_wait_share * 100.0);
-  std::printf("%-26s %11.1f%% %14.2f %15.1f%%\n", "unified decode-first",
-              df.attainment * 100.0, df.ttft_p99, df.decode_wait_share * 100.0);
-  std::printf("%-26s %11.1f%% %14.2f %15.1f%%\n", "disaggregated (Aegaeon)",
-              dis.attainment * 100.0, dis.ttft_p99, dis.decode_wait_share * 100.0);
+  const char* names[] = {"unified prefill-first", "unified decode-first",
+                         "disaggregated (Aegaeon)"};
+  for (int i = 0; i < 3; ++i) {
+    std::printf("%-26s %11.1f%% %14.2f %15.1f%%\n", names[i], rows[i].attainment * 100.0,
+                rows[i].ttft_p99, rows[i].decode_wait_share * 100.0);
+  }
 }
 
 }  // namespace
@@ -63,27 +76,32 @@ void Report(const char* workload, const ModelRegistry& registry,
 int main() {
   std::printf("=== Figure 6 / §4.1: unified vs disaggregated scheduling, 16 GPUs ===\n");
 
-  // Workload A: bursty arrivals (prefill-first's weakness is TBT under
-  // bursts; the spikes keep decoding preempted).
-  {
-    ModelRegistry registry = ModelRegistry::MidSizeMarket(40);
-    Dataset dataset = Dataset::ShareGpt();
-    auto trace = GeneratePoisson(registry, 0.12, kHorizon, dataset, kSeed);
-    for (int burst = 0; burst < 4; ++burst) {
-      AddBurst(trace, registry, static_cast<ModelId>(burst), /*burst_rps=*/3.0,
-               /*start=*/40.0 + burst * 50.0, /*length=*/15.0, dataset, kSeed + burst);
+  // (workload x scheduler) fan-out: each task rebuilds registry and trace.
+  using TraceFn = std::vector<ArrivalEvent> (*)(const ModelRegistry&);
+  const TraceFn workloads[] = {&BurstyTrace, &LongPromptTrace};
+  std::vector<std::function<Row()>> tasks;
+  for (TraceFn make_trace : workloads) {
+    for (int scheduler = 0; scheduler < 3; ++scheduler) {
+      tasks.push_back([make_trace, scheduler] {
+        ModelRegistry registry = ModelRegistry::MidSizeMarket(40);
+        auto trace = make_trace(registry);
+        switch (scheduler) {
+          case 0:
+            return RunUnified(UnifiedPolicy::kPrefillFirst, registry, trace);
+          case 1:
+            return RunUnified(UnifiedPolicy::kDecodeFirst, registry, trace);
+          default:
+            return RunDisagg(registry, trace);
+        }
+      });
     }
-    Report("A: bursty arrivals (ShareGPT)", registry, trace);
   }
+  std::vector<Row> rows = SweepMap(std::move(tasks));
 
-  // Workload B: long prompts (decode-first's weakness is TTFT when prefills
-  // queue behind long decode phases).
-  {
-    ModelRegistry registry = ModelRegistry::MidSizeMarket(40);
-    Dataset long_inputs("ShareGPT-ix4", 4.5, 1.1, 5.25, 0.9, /*input_scale=*/4.0, 1.0);
-    auto trace = GeneratePoisson(registry, 0.12, kHorizon, long_inputs, kSeed);
-    Report("B: 4x-long prompts", registry, trace);
-  }
+  // Request counts for the headers (cheap to regenerate).
+  ModelRegistry registry = ModelRegistry::MidSizeMarket(40);
+  Report("A: bursty arrivals (ShareGPT)", BurstyTrace(registry).size(), &rows[0]);
+  Report("B: 4x-long prompts", LongPromptTrace(registry).size(), &rows[3]);
 
   std::printf("\n(disaggregation balances both; each unified heuristic fails on one —\n"
               "the §4.1 argument for splitting the pool)\n");

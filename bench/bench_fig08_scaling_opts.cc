@@ -8,6 +8,8 @@
 // Paper: the full stack removes ~97% of T0.
 
 #include <cstdio>
+#include <functional>
+#include <vector>
 
 #include "engine/autoscaler.h"
 #include "hw/gpu_device.h"
@@ -15,6 +17,7 @@
 #include "mem/model_cache.h"
 #include "model/latency_model.h"
 #include "model/registry.h"
+#include "sim/parallel_sweep.h"
 
 using namespace aegaeon;
 
@@ -45,9 +48,9 @@ TierResult MeasureTier(OptLevel level, bool prefetch, const ModelRegistry& regis
   return TierResult{second.ready_at - idle, second.breakdown};
 }
 
-}  // namespace
-
-int main() {
+// Each tier task constructs its own registry/latency/cache so the fan-out
+// shares no mutable state (ModelCache tracks LRU order across ScaleTo).
+TierResult MeasureTierIsolated(OptLevel level, bool prefetch) {
   ModelRegistry registry;
   registry.Add(ModelSpec::Llama13B(), 1, SloSpec::Chatbot());
   registry.Add(ModelSpec::Qwen7B(), 1, SloSpec::Chatbot());
@@ -56,7 +59,12 @@ int main() {
   for (const DeployedModel& model : registry.models()) {
     cache.Warm(model.id, model.spec.weight_bytes());
   }
+  return MeasureTier(level, prefetch, registry, latency, cache);
+}
 
+}  // namespace
+
+int main() {
   std::printf("=== Figures 8 & 10: preemptive scaling latency by optimization tier ===\n");
   std::printf("Switch: LLaMA-13B -> Qwen-7B, 4 GB KV out + 4 GB KV in\n\n");
   std::printf("%-26s %10s %8s %8s %8s %8s %8s %8s\n", "tier", "latency(s)", "kv_out", "gc",
@@ -75,10 +83,18 @@ int main() {
       {"T3 fine-grained-sync", OptLevel::kFineGrainedSync, true},
   };
 
+  std::vector<std::function<TierResult()>> tasks;
+  for (const Tier& tier : tiers) {
+    tasks.push_back([tier] { return MeasureTierIsolated(tier.level, tier.prefetch); });
+  }
+  ParallelSweep sweep;
+  std::vector<TierResult> results = sweep.Map(std::move(tasks));
+
   double t0 = 0.0;
   double t3 = 0.0;
-  for (const Tier& tier : tiers) {
-    TierResult result = MeasureTier(tier.level, tier.prefetch, registry, latency, cache);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Tier& tier = tiers[i];
+    const TierResult& result = results[i];
     const ScaleBreakdown& b = result.breakdown;
     double init = b.dist_exec + b.profile + b.kv_init + b.misc;
     std::printf("%-26s %10.2f %8.2f %8.2f %8.2f %8.2f %8.2f %8s\n", tier.name, result.latency,

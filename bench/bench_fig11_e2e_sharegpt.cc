@@ -19,13 +19,21 @@ namespace {
 
 void SweepModels(const char* title, double rps, const std::vector<int>& model_counts) {
   PrintHeader(title);
+  std::vector<SweepCase> cases;
+  for (int models : model_counts) {
+    cases.push_back(SweepCase{
+        [models] { return ModelRegistry::MidSizeMarket(models); },
+        [rps](const ModelRegistry& registry) {
+          return GeneratePoisson(registry, rps, kHorizon, Dataset::ShareGpt(), kSeed);
+        }});
+  }
+  std::vector<E2eResult> results = RunAllSystemsSweep(cases);
   std::vector<double> xs;
   std::vector<double> ours;
   std::vector<double> sllm;
-  for (int models : model_counts) {
-    ModelRegistry registry = ModelRegistry::MidSizeMarket(models);
-    auto trace = GeneratePoisson(registry, rps, kHorizon, Dataset::ShareGpt(), kSeed);
-    E2eResult result = RunAllSystems(registry, trace);
+  for (size_t i = 0; i < cases.size(); ++i) {
+    int models = model_counts[i];
+    const E2eResult& result = results[i];
     PrintE2eRow(models, result, "#models");
     xs.push_back(models);
     ours.push_back(result.aegaeon);
@@ -53,17 +61,24 @@ int main() {
 
   // (c) 40 models, rate sweep.
   PrintHeader("Figure 11(c): 40 models, sweeping per-model arrival rate");
+  const std::vector<double> rates = {0.05, 0.15, 0.30, 0.45, 0.60, 0.75};
+  std::vector<SweepCase> cases;
+  for (double rps : rates) {
+    cases.push_back(SweepCase{
+        [] { return ModelRegistry::MidSizeMarket(40); },
+        [rps](const ModelRegistry& registry) {
+          return GeneratePoisson(registry, rps, kHorizon, Dataset::ShareGpt(), kSeed);
+        }});
+  }
+  std::vector<E2eResult> results = RunAllSystemsSweep(cases);
   std::vector<double> xs;
   std::vector<double> ours;
   std::vector<double> sllm;
-  ModelRegistry registry = ModelRegistry::MidSizeMarket(40);
-  for (double rps : {0.05, 0.15, 0.30, 0.45, 0.60, 0.75}) {
-    auto trace = GeneratePoisson(registry, rps, kHorizon, Dataset::ShareGpt(), kSeed);
-    E2eResult result = RunAllSystems(registry, trace);
-    PrintE2eRow(rps, result, "rate (req/s)");
-    xs.push_back(rps);
-    ours.push_back(result.aegaeon);
-    sllm.push_back(result.serverless);
+  for (size_t i = 0; i < rates.size(); ++i) {
+    PrintE2eRow(rates[i], results[i], "rate (req/s)");
+    xs.push_back(rates[i]);
+    ours.push_back(results[i].aegaeon);
+    sllm.push_back(results[i].serverless);
   }
   std::printf("Max rate at 90%% SLO: Aegaeon %.2f, ServerlessLLM %.2f\n",
               MaxLoadMeeting90(xs, ours), MaxLoadMeeting90(xs, sllm));

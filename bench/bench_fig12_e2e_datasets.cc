@@ -17,17 +17,23 @@ namespace {
 void Sweep(const char* title, const Dataset& dataset, double rps,
            const std::vector<int>& model_counts) {
   PrintHeader(title);
+  std::vector<SweepCase> cases;
+  for (int models : model_counts) {
+    cases.push_back(SweepCase{
+        [models] { return ModelRegistry::MidSizeMarket(models); },
+        [dataset, rps](const ModelRegistry& registry) {
+          return GeneratePoisson(registry, rps, kHorizon, dataset, kSeed);
+        }});
+  }
+  std::vector<E2eResult> results = RunAllSystemsSweep(cases);
   std::vector<double> xs;
   std::vector<double> ours;
   std::vector<double> sllm;
-  for (int models : model_counts) {
-    ModelRegistry registry = ModelRegistry::MidSizeMarket(models);
-    auto trace = GeneratePoisson(registry, rps, kHorizon, dataset, kSeed);
-    E2eResult result = RunAllSystems(registry, trace);
-    PrintE2eRow(models, result, "#models");
-    xs.push_back(models);
-    ours.push_back(result.aegaeon);
-    sllm.push_back(result.serverless);
+  for (size_t i = 0; i < cases.size(); ++i) {
+    PrintE2eRow(model_counts[i], results[i], "#models");
+    xs.push_back(model_counts[i]);
+    ours.push_back(results[i].aegaeon);
+    sllm.push_back(results[i].serverless);
   }
   std::printf("Max models at 90%% SLO: Aegaeon %.0f, ServerlessLLM %.0f\n",
               MaxLoadMeeting90(xs, ours), MaxLoadMeeting90(xs, sllm));

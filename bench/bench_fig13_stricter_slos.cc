@@ -13,20 +13,54 @@
 using namespace aegaeon;
 using namespace aegaeon_bench;
 
+namespace {
+
+struct Fig13Row {
+  double aegaeon = 0.0;
+  double serverless = 0.0;
+  double muxserve = 0.0;
+};
+
+}  // namespace
+
 int main() {
   const std::vector<int> model_counts = {16, 28, 40, 52, 64};
-  for (double scale : {0.5, 0.3, 0.2}) {
+  const std::vector<double> scales = {0.5, 0.3, 0.2};
+  // One task per (scale, #models, system); each rebuilds its own state.
+  std::vector<std::function<double()>> tasks;
+  for (double scale : scales) {
+    for (int models : model_counts) {
+      auto point = [scale, models](int system) {
+        ModelRegistry registry =
+            ModelRegistry::MidSizeMarket(models, SloSpec::Chatbot().Scaled(scale));
+        auto trace = GeneratePoisson(registry, 0.1, kHorizon, Dataset::ShareGpt(), kSeed);
+        switch (system) {
+          case 0:
+            return RunAegaeon(registry, trace).SloAttainment();
+          case 1:
+            return RunServerless(registry, trace, false).SloAttainment();
+          default:
+            return RunMux(registry, trace).SloAttainment();
+        }
+      };
+      for (int system = 0; system < 3; ++system) {
+        tasks.push_back([point, system] { return point(system); });
+      }
+    }
+  }
+  std::vector<double> values = SweepMap(std::move(tasks));
+
+  size_t next = 0;
+  for (double scale : scales) {
     std::printf("\n=== Figure 13: %.1fx SLO (TTFT %.1fs, TBT %.0fms), RPS = 0.1 ===\n", scale,
                 10.0 * scale, 100.0 * scale);
     for (int models : model_counts) {
-      ModelRegistry registry =
-          ModelRegistry::MidSizeMarket(models, SloSpec::Chatbot().Scaled(scale));
-      auto trace = GeneratePoisson(registry, 0.1, kHorizon, Dataset::ShareGpt(), kSeed);
-      double ours = RunAegaeon(registry, trace).SloAttainment();
-      double sllm = RunServerless(registry, trace, false).SloAttainment();
-      double mux = RunMux(registry, trace).SloAttainment();
+      Fig13Row row;
+      row.aegaeon = values[next++];
+      row.serverless = values[next++];
+      row.muxserve = values[next++];
       std::printf("#models %3d | Aegaeon %6.1f%% | ServerlessLLM %6.1f%% | MuxServe %6.1f%%\n",
-                  models, ours * 100.0, sllm * 100.0, mux * 100.0);
+                  models, row.aegaeon * 100.0, row.serverless * 100.0, row.muxserve * 100.0);
     }
   }
   return 0;

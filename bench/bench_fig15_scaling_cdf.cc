@@ -37,26 +37,51 @@ ModelRegistry UniformMarket(const ModelSpec& spec, int count) {
 }  // namespace
 
 int main() {
-  std::printf("=== Figure 15 (left): CDF of auto-scaling latency by model size ===\n");
   struct Size {
     const char* label;
     ModelSpec spec;
   };
-  for (const auto& [label, spec] : {Size{"7B", ModelSpec::Qwen7B()},
-                                    Size{"9B", ModelSpec::Yi9B()},
-                                    Size{"13B", ModelSpec::Llama13B()}}) {
-    ModelRegistry registry = UniformMarket(spec, 32);
-    auto trace = GeneratePoisson(registry, 0.1, kHorizon, Dataset::ShareGpt(), kSeed);
-    // Uniform-size markets size their VRAM split for prefetch headroom
-    // (two co-resident checkpoints) — a per-deployment configuration.
-    AegaeonConfig config;
-    config.prefill_instances = 6;
-    config.decode_instances = 10;
-    config.weight_buffer_bytes = 56.0 * kGiB;
-    config.gpu_kv_bytes = 20.0 * kGiB;
-    AegaeonCluster cluster(config, registry, GpuSpec::H800());
-    RunMetrics metrics = cluster.Run(trace);
-    PrintCdf(label, metrics.switch_latency_samples);
+  const std::vector<Size> sizes = {Size{"7B", ModelSpec::Qwen7B()}, Size{"9B", ModelSpec::Yi9B()},
+                                   Size{"13B", ModelSpec::Llama13B()}};
+  struct Setup {
+    int models;
+    double rps;
+  };
+  const std::vector<Setup> setups = {Setup{16, 0.1}, Setup{32, 0.1}, Setup{64, 0.1},
+                                     Setup{16, 0.5}, Setup{32, 0.5}};
+
+  // Left panel (one task per model size) then right panel (one per setup);
+  // every task rebuilds registry/trace/cluster from the shared seed.
+  std::vector<std::function<RunMetrics()>> tasks;
+  for (const Size& size : sizes) {
+    ModelSpec spec = size.spec;
+    tasks.push_back([spec] {
+      ModelRegistry registry = UniformMarket(spec, 32);
+      auto trace = GeneratePoisson(registry, 0.1, kHorizon, Dataset::ShareGpt(), kSeed);
+      // Uniform-size markets size their VRAM split for prefetch headroom
+      // (two co-resident checkpoints) — a per-deployment configuration.
+      AegaeonConfig config;
+      config.prefill_instances = 6;
+      config.decode_instances = 10;
+      config.weight_buffer_bytes = 56.0 * kGiB;
+      config.gpu_kv_bytes = 20.0 * kGiB;
+      AegaeonCluster cluster(config, registry, GpuSpec::H800());
+      return cluster.Run(trace);
+    });
+  }
+  for (const Setup& setup : setups) {
+    tasks.push_back([setup] {
+      ModelRegistry registry = ModelRegistry::MidSizeMarket(setup.models);
+      auto trace = GeneratePoisson(registry, setup.rps, kHorizon, Dataset::ShareGpt(), kSeed);
+      return RunAegaeon(registry, trace);
+    });
+  }
+  std::vector<RunMetrics> all = SweepMap(std::move(tasks));
+
+  std::printf("=== Figure 15 (left): CDF of auto-scaling latency by model size ===\n");
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    const RunMetrics& metrics = all[i];
+    PrintCdf(sizes[i].label, metrics.switch_latency_samples);
     std::printf("           p50 %.3fs  p90 %.3fs  p99 %.3fs  (n=%zu)\n",
                 Percentile(metrics.switch_latency_samples, 50),
                 Percentile(metrics.switch_latency_samples, 90),
@@ -65,17 +90,10 @@ int main() {
   }
 
   std::printf("\n=== Figure 15 (right): CDF of per-request KV cache sync overhead ===\n");
-  struct Setup {
-    int models;
-    double rps;
-  };
-  for (const Setup& setup :
-       {Setup{16, 0.1}, Setup{32, 0.1}, Setup{64, 0.1}, Setup{16, 0.5}, Setup{32, 0.5}}) {
-    ModelRegistry registry = ModelRegistry::MidSizeMarket(setup.models);
-    auto trace = GeneratePoisson(registry, setup.rps, kHorizon, Dataset::ShareGpt(), kSeed);
-    RunMetrics metrics = RunAegaeon(registry, trace);
+  for (size_t i = 0; i < setups.size(); ++i) {
+    const RunMetrics& metrics = all[sizes.size() + i];
     char label[32];
-    std::snprintf(label, sizeof(label), "%dx%.1f", setup.models, setup.rps);
+    std::snprintf(label, sizeof(label), "%dx%.1f", setups[i].models, setups[i].rps);
     PrintCdf(label, metrics.kv_sync_samples);
   }
   std::printf("\n(per-request KV management overhead stays well under one second)\n");

@@ -13,35 +13,60 @@
 using namespace aegaeon;
 using namespace aegaeon_bench;
 
+namespace {
+
+// Everything the report needs, extracted inside the task: slab stats must be
+// read from the cluster before the task returns (the cluster dies with it).
+struct FragReport {
+  double attainment = 0.0;
+  std::vector<ShapeClassId> shapes;
+  std::vector<SlabAllocator::ShapeStats> stats;
+  SlabAllocator::ShapeStats overall;
+};
+
+}  // namespace
+
 int main() {
-  // A 36-model mixed market exercises all six KV shapes of the presets.
-  ModelRegistry registry = ModelRegistry::MidSizeMarket(36);
-  auto trace = GeneratePoisson(registry, 0.15, kHorizon, Dataset::ShareGpt(), kSeed);
+  std::vector<std::function<FragReport()>> tasks;
+  tasks.push_back([] {
+    // A 36-model mixed market exercises all six KV shapes of the presets.
+    ModelRegistry registry = ModelRegistry::MidSizeMarket(36);
+    auto trace = GeneratePoisson(registry, 0.15, kHorizon, Dataset::ShareGpt(), kSeed);
 
-  AegaeonConfig config;
-  config.prefill_instances = 6;
-  config.decode_instances = 10;
-  AegaeonCluster cluster(config, registry, GpuSpec::H800());
-  RunMetrics metrics = cluster.Run(trace);
+    AegaeonConfig config;
+    config.prefill_instances = 6;
+    config.decode_instances = 10;
+    AegaeonCluster cluster(config, registry, GpuSpec::H800());
+    RunMetrics metrics = cluster.Run(trace);
 
-  const SlabAllocator& slabs = cluster.cpu_kv_cache().slabs();
+    const SlabAllocator& slabs = cluster.cpu_kv_cache().slabs();
+    FragReport report;
+    report.attainment = metrics.SloAttainment();
+    for (ShapeClassId shape : slabs.shapes()) {
+      report.shapes.push_back(shape);
+      report.stats.push_back(slabs.shape_stats(shape));
+    }
+    report.overall = slabs.overall_stats();
+    return report;
+  });
+  FragReport report = SweepMap(std::move(tasks)).front();
+
   std::printf("=== Figure 16: unified CPU KV cache fragmentation (slab allocation) ===\n");
-  std::printf("run: 36 models, RPS 0.15, SLO attainment %.1f%%\n\n",
-              metrics.SloAttainment() * 100.0);
+  std::printf("run: 36 models, RPS 0.15, SLO attainment %.1f%%\n\n", report.attainment * 100.0);
   std::printf("%-8s %14s %16s %16s %14s\n", "shape", "block (KB)", "peak held (MB)",
               "used @peak (MB)", "fragmentation");
-  for (ShapeClassId shape : slabs.shapes()) {
-    SlabAllocator::ShapeStats stats = slabs.shape_stats(shape);
+  for (size_t i = 0; i < report.shapes.size(); ++i) {
+    const SlabAllocator::ShapeStats& stats = report.stats[i];
     if (stats.peak_held_bytes == 0) {
       continue;
     }
-    std::printf("S%-7u %14.0f %16.1f %16.1f %13.1f%%\n", shape,
+    std::printf("S%-7u %14.0f %16.1f %16.1f %13.1f%%\n", report.shapes[i],
                 static_cast<double>(stats.block_bytes) / 1024.0,
                 static_cast<double>(stats.peak_held_bytes) / 1e6,
                 static_cast<double>(stats.used_at_peak) / 1e6,
                 stats.FragmentationAtPeak() * 100.0);
   }
-  SlabAllocator::ShapeStats overall = slabs.overall_stats();
+  const SlabAllocator::ShapeStats& overall = report.overall;
   std::printf("%-8s %14s %16.1f %16.1f %13.1f%%\n", "All", "-",
               static_cast<double>(overall.peak_held_bytes) / 1e6,
               static_cast<double>(overall.used_at_peak) / 1e6,

@@ -50,18 +50,43 @@ double Run72B(double total_rps, double ttft_scale) {
 }  // namespace
 
 int main() {
+  const std::vector<int> a10_models = {4, 6, 8, 10};
+  const std::vector<double> rates = {0.4, 0.9, 1.4, 1.9, 2.4};
+  const double tiers[] = {0.5, 1.0, 2.0};  // Strict / Normal / Loose
+
+  // One task per (point, tier); left panel first, right panel appended.
+  std::vector<std::function<double()>> tasks;
+  for (int models : a10_models) {
+    for (double scale : tiers) {
+      tasks.push_back([models, scale] { return RunA10(models, scale); });
+    }
+  }
+  for (double rate : rates) {
+    for (double scale : tiers) {
+      tasks.push_back([rate, scale] { return Run72B(rate, scale); });
+    }
+  }
+  std::vector<double> values = SweepMap(std::move(tasks));
+  size_t next = 0;
+
   std::printf("=== Figure 17 (left): 4xA10, 6-7B models, RPS = 0.1 ===\n");
   std::printf("%-10s %10s %10s %10s\n", "#models", "Strict", "Normal", "Loose");
-  for (int models : {4, 6, 8, 10}) {
-    std::printf("%-10d %9.1f%% %9.1f%% %9.1f%%\n", models, RunA10(models, 0.5) * 100.0,
-                RunA10(models, 1.0) * 100.0, RunA10(models, 2.0) * 100.0);
+  for (int models : a10_models) {
+    double strict = values[next++];
+    double normal = values[next++];
+    double loose = values[next++];
+    std::printf("%-10d %9.1f%% %9.1f%% %9.1f%%\n", models, strict * 100.0, normal * 100.0,
+                loose * 100.0);
   }
 
   std::printf("\n=== Figure 17 (right): 8xH800, 72B models at TP=4, 4 models ===\n");
   std::printf("%-12s %10s %10s %10s\n", "rate (req/s)", "Strict", "Normal", "Loose");
-  for (double rate : {0.4, 0.9, 1.4, 1.9, 2.4}) {
-    std::printf("%-12.1f %9.1f%% %9.1f%% %9.1f%%\n", rate, Run72B(rate, 0.5) * 100.0,
-                Run72B(rate, 1.0) * 100.0, Run72B(rate, 2.0) * 100.0);
+  for (double rate : rates) {
+    double strict = values[next++];
+    double normal = values[next++];
+    double loose = values[next++];
+    std::printf("%-12.1f %9.1f%% %9.1f%% %9.1f%%\n", rate, strict * 100.0, normal * 100.0,
+                loose * 100.0);
   }
   return 0;
 }

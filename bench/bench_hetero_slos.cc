@@ -24,25 +24,40 @@ int main() {
               relaxed.ttft, relaxed.tbt * 1000, strict.ttft, strict.tbt * 1000);
   std::printf("%-10s %14s %14s %14s\n", "#models", "overall", "relaxed tier", "strict tier");
 
-  for (int models : {16, 28, 40, 52}) {
-    ModelRegistry registry = ModelRegistry::MixedSloMarket(models, relaxed, strict);
-    auto trace = GeneratePoisson(registry, 0.1, kHorizon, Dataset::ShareGpt(), kSeed);
-    AegaeonConfig config;
-    AegaeonCluster cluster(config, registry, GpuSpec::H800());
-    RunMetrics metrics = cluster.Run(trace);
-
+  struct TierRow {
+    double overall = 0.0;
     int64_t met[2] = {0, 0};
     int64_t total[2] = {0, 0};
-    for (const Request& r : cluster.requests()) {
-      int tier = static_cast<int>(r.model % 2);
-      met[tier] += r.tokens_met;
-      total[tier] += r.output_tokens;
-    }
-    auto pct = [](int64_t m, int64_t t) {
-      return t == 0 ? 100.0 : 100.0 * static_cast<double>(m) / static_cast<double>(t);
-    };
-    std::printf("%-10d %13.1f%% %13.1f%% %13.1f%%\n", models,
-                metrics.SloAttainment() * 100.0, pct(met[0], total[0]), pct(met[1], total[1]));
+  };
+  const std::vector<int> model_counts = {16, 28, 40, 52};
+  std::vector<std::function<TierRow()>> tasks;
+  for (int models : model_counts) {
+    tasks.push_back([models, relaxed, strict] {
+      ModelRegistry registry = ModelRegistry::MixedSloMarket(models, relaxed, strict);
+      auto trace = GeneratePoisson(registry, 0.1, kHorizon, Dataset::ShareGpt(), kSeed);
+      AegaeonConfig config;
+      AegaeonCluster cluster(config, registry, GpuSpec::H800());
+      RunMetrics metrics = cluster.Run(trace);
+
+      TierRow row;
+      row.overall = metrics.SloAttainment();
+      for (const Request& r : cluster.requests()) {
+        int tier = static_cast<int>(r.model % 2);
+        row.met[tier] += r.tokens_met;
+        row.total[tier] += r.output_tokens;
+      }
+      return row;
+    });
+  }
+  std::vector<TierRow> rows = SweepMap(std::move(tasks));
+
+  auto pct = [](int64_t m, int64_t t) {
+    return t == 0 ? 100.0 : 100.0 * static_cast<double>(m) / static_cast<double>(t);
+  };
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const TierRow& row = rows[i];
+    std::printf("%-10d %13.1f%% %13.1f%% %13.1f%%\n", model_counts[i], row.overall * 100.0,
+                pct(row.met[0], row.total[0]), pct(row.met[1], row.total[1]));
   }
   std::printf("\n(the strict tier degrades first as the pool saturates — its slack is\n"
               "smaller — but the relaxed tier is not starved to protect it, and at\n"

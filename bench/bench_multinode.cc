@@ -14,22 +14,35 @@ using namespace aegaeon_bench;
 int main() {
   std::printf("=== Multi-node deployment: 16 H800 GPUs as 1 / 2 / 4 nodes ===\n");
   std::printf("(40 models x 0.1 rps, ShareGPT; 6 prefill + 10 decoding instances)\n\n");
-  ModelRegistry registry = ModelRegistry::MidSizeMarket(40);
-  auto trace = GeneratePoisson(registry, 0.1, kHorizon, Dataset::ShareGpt(), kSeed);
+
+  struct NodeRow {
+    double attainment = 0.0;
+    uint64_t migrations = 0;
+    uint64_t requests = 0;
+  };
+  const std::vector<int> node_counts = {1, 2, 4};
+  std::vector<std::function<NodeRow()>> tasks;
+  for (int nodes : node_counts) {
+    tasks.push_back([nodes] {
+      ModelRegistry registry = ModelRegistry::MidSizeMarket(40);
+      auto trace = GeneratePoisson(registry, 0.1, kHorizon, Dataset::ShareGpt(), kSeed);
+      AegaeonConfig config;
+      config.prefill_instances = 6;
+      config.decode_instances = 10;
+      config.nodes = nodes;
+      AegaeonCluster cluster(config, registry, GpuSpec::H800());
+      RunMetrics metrics = cluster.Run(trace);
+      return NodeRow{metrics.SloAttainment(), cluster.kv_migrations(), metrics.total_requests};
+    });
+  }
+  std::vector<NodeRow> rows = SweepMap(std::move(tasks));
 
   std::printf("%-8s %14s %18s %20s\n", "nodes", "SLO attain", "KV migrations",
               "migrations/request");
-  for (int nodes : {1, 2, 4}) {
-    AegaeonConfig config;
-    config.prefill_instances = 6;
-    config.decode_instances = 10;
-    config.nodes = nodes;
-    AegaeonCluster cluster(config, registry, GpuSpec::H800());
-    RunMetrics metrics = cluster.Run(trace);
-    std::printf("%-8d %13.1f%% %18lu %20.2f\n", nodes, metrics.SloAttainment() * 100.0,
-                static_cast<unsigned long>(cluster.kv_migrations()),
-                static_cast<double>(cluster.kv_migrations()) /
-                    static_cast<double>(metrics.total_requests));
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::printf("%-8d %13.1f%% %18lu %20.2f\n", node_counts[i], rows[i].attainment * 100.0,
+                static_cast<unsigned long>(rows[i].migrations),
+                static_cast<double>(rows[i].migrations) / static_cast<double>(rows[i].requests));
   }
   std::printf("\n(locality-aware dispatch keeps most KV on its home node; the fabric\n"
               "hop costs little at ShareGPT KV sizes, so pooling survives splitting)\n");

@@ -7,7 +7,9 @@
 #define AEGAEON_BENCH_E2E_COMMON_H_
 
 #include <cstdio>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/metrics.h"
@@ -16,6 +18,7 @@
 #include "core/cluster.h"
 #include "hw/gpu_spec.h"
 #include "model/registry.h"
+#include "sim/parallel_sweep.h"
 #include "workload/dataset.h"
 #include "workload/generator.h"
 
@@ -70,6 +73,62 @@ inline E2eResult RunAllSystems(const ModelRegistry& registry,
   result.serverless_plus = RunServerless(registry, trace, /*sjf=*/true).SloAttainment();
   result.muxserve = RunMux(registry, trace).SloAttainment();
   return result;
+}
+
+// --- Parallel sweeps ----------------------------------------------------
+//
+// Sweeps fan (point x system) runs across ParallelSweep. Per the
+// determinism contract every task rebuilds its registry and trace inside
+// the task body from explicit seeds, so nothing mutable is shared and the
+// results are bit-identical to the serial path.
+
+// Order-preserving parallel map over independent closures.
+template <typename T>
+inline std::vector<T> SweepMap(std::vector<std::function<T()>> tasks, int threads = 0) {
+  ParallelSweep sweep(threads);
+  return sweep.Map(std::move(tasks));
+}
+
+// One sweep point described by recipe rather than by value.
+struct SweepCase {
+  std::function<ModelRegistry()> registry;
+  std::function<std::vector<ArrivalEvent>(const ModelRegistry&)> trace;
+};
+
+// Runs all four systems for every case — 4N independent tasks — and
+// returns per-case results in input order.
+inline std::vector<E2eResult> RunAllSystemsSweep(const std::vector<SweepCase>& cases,
+                                                 int threads = 0) {
+  enum SystemKind { kAegaeon, kServerless, kServerlessPlus, kMuxServe, kSystems };
+  std::vector<std::function<double()>> tasks;
+  tasks.reserve(cases.size() * kSystems);
+  for (const SweepCase& c : cases) {
+    for (int system = 0; system < kSystems; ++system) {
+      tasks.push_back([c, system] {
+        ModelRegistry registry = c.registry();
+        std::vector<ArrivalEvent> trace = c.trace(registry);
+        switch (system) {
+          case kAegaeon:
+            return RunAegaeon(registry, trace).SloAttainment();
+          case kServerless:
+            return RunServerless(registry, trace, /*sjf=*/false).SloAttainment();
+          case kServerlessPlus:
+            return RunServerless(registry, trace, /*sjf=*/true).SloAttainment();
+          default:
+            return RunMux(registry, trace).SloAttainment();
+        }
+      });
+    }
+  }
+  std::vector<double> attainments = SweepMap(std::move(tasks), threads);
+  std::vector<E2eResult> results(cases.size());
+  for (size_t i = 0; i < cases.size(); ++i) {
+    results[i].aegaeon = attainments[i * kSystems + kAegaeon];
+    results[i].serverless = attainments[i * kSystems + kServerless];
+    results[i].serverless_plus = attainments[i * kSystems + kServerlessPlus];
+    results[i].muxserve = attainments[i * kSystems + kMuxServe];
+  }
+  return results;
 }
 
 inline void PrintHeader(const char* title) {

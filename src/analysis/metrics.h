@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/request.h"
+#include "sim/simulator.h"
 #include "sim/time.h"
 
 namespace aegaeon {
@@ -41,6 +42,10 @@ struct RunMetrics {
   std::vector<double> request_latency_samples;
   std::vector<double> switch_latency_samples;   // Figure 15 (left)
   std::vector<double> kv_sync_samples;          // Figure 15 (right)
+
+  // Host-side cost of producing this run (events processed, wall-clock).
+  // Measured, not simulated: excluded from determinism comparisons.
+  SimPerfCounters sim;
 
   // Token-level SLO attainment in [0, 1]; requests that never produced a
   // token count all their tokens as missed.

@@ -35,7 +35,9 @@ RunMetrics DedicatedCluster::Run(const std::vector<ArrivalEvent>& trace) {
   }
   sim_.Run();
   FillDecodeWaits(requests_);
-  return FoldRequests(requests_, sim_.Now());
+  RunMetrics metrics = FoldRequests(requests_, sim_.Now());
+  metrics.sim = sim_.perf();
+  return metrics;
 }
 
 void DedicatedCluster::Kick(int g) {

@@ -60,7 +60,9 @@ RunMetrics MuxServeCluster::Run(const std::vector<ArrivalEvent>& trace) {
   }
   sim_.Run();
   FillDecodeWaits(requests_);
-  return FoldRequests(requests_, sim_.Now());
+  RunMetrics metrics = FoldRequests(requests_, sim_.Now());
+  metrics.sim = sim_.perf();
+  return metrics;
 }
 
 void MuxServeCluster::OnArrival(Request* request) {

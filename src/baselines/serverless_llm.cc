@@ -35,6 +35,7 @@ RunMetrics ServerlessLlmCluster::Run(const std::vector<ArrivalEvent>& trace) {
   sim_.Run();
   FillDecodeWaits(requests_);
   RunMetrics metrics = FoldRequests(requests_, sim_.Now());
+  metrics.sim = sim_.perf();
   for (const Instance& inst : instances_) {
     metrics.switch_latency_samples.insert(metrics.switch_latency_samples.end(),
                                           inst.switch_latencies.begin(),

@@ -52,6 +52,7 @@ RunMetrics UnifiedCluster::Run(const std::vector<ArrivalEvent>& trace) {
   sim_.Run();
   FillDecodeWaits(requests_);
   RunMetrics metrics = FoldRequests(requests_, sim_.Now());
+  metrics.sim = sim_.perf();
   for (const Instance& inst : instances_) {
     const auto& v = inst.scaler->switch_latencies();
     metrics.switch_latency_samples.insert(metrics.switch_latency_samples.end(), v.begin(),

@@ -193,6 +193,7 @@ RunMetrics AegaeonCluster::Run(const std::vector<ArrivalEvent>& trace) {
   Duration horizon = sim_.Now();
   RunMetrics metrics = FoldRequests(requests_, horizon);
   metrics.switch_latency_samples = SwitchLatencies();
+  metrics.sim = sim_.perf();
   return metrics;
 }
 

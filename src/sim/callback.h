@@ -1,0 +1,115 @@
+// A move-only callable with small-buffer optimization, used for simulator
+// events. Unlike std::function, captures up to kInlineSize bytes live inside
+// the EventCallback itself — scheduling an event allocates nothing — and the
+// wrapped callable only needs to be movable, so events can own move-only
+// state (std::unique_ptr, file handles, ...).
+
+#ifndef AEGAEON_SIM_CALLBACK_H_
+#define AEGAEON_SIM_CALLBACK_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace aegaeon {
+
+class EventCallback {
+ public:
+  // Capture budget before falling back to a heap allocation. Sized for the
+  // simulator's hot callbacks (a `this` pointer plus a handful of scalars).
+  static constexpr size_t kInlineSize = 48;
+  static constexpr size_t kInlineAlign = alignof(std::max_align_t);
+
+  EventCallback() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineSize && alignof(Fn) <= kInlineAlign &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buffer_)) Fn(std::forward<F>(f));
+      ops_ = &InlineOps<Fn>::ops;
+    } else {
+      *reinterpret_cast<Fn**>(buffer_) = new Fn(std::forward<F>(f));
+      ops_ = &HeapOps<Fn>::ops;
+    }
+  }
+
+  EventCallback(EventCallback&& other) noexcept { MoveFrom(other); }
+
+  EventCallback& operator=(EventCallback&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  EventCallback(const EventCallback&) = delete;
+  EventCallback& operator=(const EventCallback&) = delete;
+
+  ~EventCallback() { Reset(); }
+
+  void operator()() { ops_->invoke(buffer_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  // True when the capture lives in the inline buffer (no heap allocation).
+  bool is_inline() const { return ops_ != nullptr && ops_->inline_storage; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    void (*move)(void* dst, void* src);  // move-construct dst from src
+    void (*destroy)(void* storage);
+    bool inline_storage;
+  };
+
+  template <typename Fn>
+  struct InlineOps {
+    static void Invoke(void* storage) { (*std::launder(reinterpret_cast<Fn*>(storage)))(); }
+    static void Move(void* dst, void* src) {
+      Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+      ::new (dst) Fn(std::move(*from));
+      from->~Fn();
+    }
+    static void Destroy(void* storage) { std::launder(reinterpret_cast<Fn*>(storage))->~Fn(); }
+    static constexpr Ops ops{&Invoke, &Move, &Destroy, /*inline_storage=*/true};
+  };
+
+  template <typename Fn>
+  struct HeapOps {
+    static void Invoke(void* storage) { (**reinterpret_cast<Fn**>(storage))(); }
+    static void Move(void* dst, void* src) {
+      *reinterpret_cast<Fn**>(dst) = *reinterpret_cast<Fn**>(src);
+    }
+    static void Destroy(void* storage) { delete *reinterpret_cast<Fn**>(storage); }
+    static constexpr Ops ops{&Invoke, &Move, &Destroy, /*inline_storage=*/false};
+  };
+
+  void MoveFrom(EventCallback& other) noexcept {
+    if (other.ops_ != nullptr) {
+      ops_ = other.ops_;
+      ops_->move(buffer_, other.buffer_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buffer_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(kInlineAlign) unsigned char buffer_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace aegaeon
+
+#endif  // AEGAEON_SIM_CALLBACK_H_

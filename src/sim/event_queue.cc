@@ -6,39 +6,91 @@
 
 namespace aegaeon {
 
+namespace {
+
+constexpr uint32_t SlotOf(EventId id) { return static_cast<uint32_t>(id); }
+constexpr uint32_t GenerationOf(EventId id) { return static_cast<uint32_t>(id >> 32); }
+
+constexpr EventId MakeId(uint32_t generation, uint32_t slot) {
+  return (static_cast<EventId>(generation) << 32) | slot;
+}
+
+// Compaction threshold: don't bother rebuilding tiny heaps.
+constexpr size_t kMinCompactHeap = 64;
+
+}  // namespace
+
+uint32_t EventQueue::AcquireSlot() {
+  if (!free_slots_.empty()) {
+    uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot].state = SlotState::kLive;
+    return slot;
+  }
+  slots_.emplace_back();
+  slots_.back().state = SlotState::kLive;
+  return static_cast<uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::ReleaseSlot(uint32_t slot) {
+  // Bumping the generation on release invalidates every outstanding EventId
+  // that still points at this slot.
+  slots_[slot].cb = Callback();
+  ++slots_[slot].generation;
+  slots_[slot].state = SlotState::kFree;
+  free_slots_.push_back(slot);
+}
+
 EventId EventQueue::Push(TimePoint when, Callback cb) {
-  EventId id = next_seq_++;
-  heap_.push_back(Entry{when, id, std::move(cb)});
+  uint32_t slot = AcquireSlot();
+  slots_[slot].cb = std::move(cb);
+  EventId id = MakeId(slots_[slot].generation, slot);
+  heap_.push_back(Entry{when, next_seq_++, slot});
   std::push_heap(heap_.begin(), heap_.end(), Later);
   ++live_count_;
   return id;
 }
 
 bool EventQueue::Cancel(EventId id) {
-  if (id >= next_seq_) {
+  uint32_t slot = SlotOf(id);
+  if (slot >= slots_.size()) {
     return false;
   }
-  // Already-fired events are not tracked individually; inserting the id of a
-  // fired event is harmless (it will simply never be encountered again), but
-  // we refuse double-cancels to keep live_count_ consistent.
-  if (!cancelled_.insert(id).second) {
+  Slot& s = slots_[slot];
+  // A fired or already-cancelled event either bumped the generation or left
+  // the slot in a non-live state; both reject here.
+  if (s.generation != GenerationOf(id) || s.state != SlotState::kLive) {
     return false;
   }
-  if (live_count_ > 0) {
-    --live_count_;
+  s.state = SlotState::kCancelled;
+  --live_count_;
+  ++tombstones_;
+  if (heap_.size() >= kMinCompactHeap && tombstones_ * 2 > heap_.size()) {
+    Compact();
   }
   return true;
 }
 
-void EventQueue::SkipCancelled() {
-  while (!heap_.empty()) {
-    auto it = cancelled_.find(heap_.front().seq);
-    if (it == cancelled_.end()) {
-      return;
+void EventQueue::Compact() {
+  size_t kept = 0;
+  for (const Entry& entry : heap_) {
+    if (slots_[entry.slot].state == SlotState::kCancelled) {
+      ReleaseSlot(entry.slot);
+    } else {
+      heap_[kept++] = entry;
     }
-    cancelled_.erase(it);
+  }
+  heap_.resize(kept);
+  std::make_heap(heap_.begin(), heap_.end(), Later);
+  tombstones_ = 0;
+}
+
+void EventQueue::SkipCancelled() {
+  while (!heap_.empty() && slots_[heap_.front().slot].state == SlotState::kCancelled) {
+    ReleaseSlot(heap_.front().slot);
     std::pop_heap(heap_.begin(), heap_.end(), Later);
     heap_.pop_back();
+    --tombstones_;
   }
 }
 
@@ -54,10 +106,15 @@ TimePoint EventQueue::PopAndRun() {
   SkipCancelled();
   assert(!heap_.empty() && "PopAndRun on an empty EventQueue");
   std::pop_heap(heap_.begin(), heap_.end(), Later);
-  Entry entry = std::move(heap_.back());
+  Entry entry = heap_.back();
   heap_.pop_back();
+  // Move the callback out and release before running it, so the callback can
+  // immediately reuse the slot; the generation bump keeps the fired event's
+  // id invalid for Cancel().
+  Callback cb = std::move(slots_[entry.slot].cb);
+  ReleaseSlot(entry.slot);
   --live_count_;
-  entry.cb();
+  cb();
   return entry.when;
 }
 

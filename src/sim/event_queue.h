@@ -3,25 +3,36 @@
 // Events scheduled for the same instant fire in the order they were
 // scheduled (FIFO tie-breaking via a monotonically increasing sequence
 // number), which makes simulations fully deterministic.
+//
+// Hot-path design: callbacks are EventCallback (small-buffer-optimized,
+// move-only — no heap allocation for typical captures), and cancellation is
+// an O(1) generation-checked slot-map instead of a hash set. Callbacks live
+// in the slot-map, not in the heap: heap entries are 24-byte PODs, so the
+// O(log n) sift on every push/pop moves keys only, and a callback is moved
+// exactly twice in its lifetime (into its slot, out to fire). A cancelled
+// event leaves a tombstone in the heap that is reclaimed either when it
+// reaches the front or by an amortized compaction pass once tombstones
+// outnumber live entries, so memory stays bounded by the live event count
+// regardless of how many schedule/cancel cycles a run performs.
 
 #ifndef AEGAEON_SIM_EVENT_QUEUE_H_
 #define AEGAEON_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
-#include <functional>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/callback.h"
 #include "sim/time.h"
 
 namespace aegaeon {
 
 // Opaque handle identifying a scheduled event; usable for cancellation.
+// Encodes (generation << 32 | slot) so stale handles are rejected in O(1).
 using EventId = uint64_t;
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = EventCallback;
 
   EventQueue() = default;
 
@@ -48,11 +59,26 @@ class EventQueue {
   // Precondition: !empty().
   TimePoint PopAndRun();
 
+  // --- Introspection (tests and benches) --------------------------------
+  // Heap entries, including tombstones awaiting reclamation.
+  size_t heap_size() const { return heap_.size(); }
+  // Total cancellation slots ever allocated (bounded by peak live events).
+  size_t slot_capacity() const { return slots_.size(); }
+
  private:
+  // POD heap key; the callback stays in slots_ so sifts don't move it.
   struct Entry {
     TimePoint when;
-    uint64_t seq;  // doubles as the EventId
+    uint64_t seq;   // FIFO tie-break for equal timestamps
+    uint32_t slot;  // index into slots_
+  };
+
+  enum class SlotState : uint8_t { kFree, kLive, kCancelled };
+
+  struct Slot {
     Callback cb;
+    uint32_t generation = 0;
+    SlotState state = SlotState::kFree;
   };
 
   // Min-heap comparison on (when, seq).
@@ -63,13 +89,22 @@ class EventQueue {
     return a.seq > b.seq;
   }
 
+  uint32_t AcquireSlot();
+  void ReleaseSlot(uint32_t slot);
+
   // Drops cancelled entries from the front of the heap.
   void SkipCancelled();
 
+  // Rebuilds the heap without tombstones once they dominate; amortized O(1)
+  // per cancel, keeps heap_.size() <= 2 * live_count_ on long horizons.
+  void Compact();
+
   std::vector<Entry> heap_;
-  std::unordered_set<EventId> cancelled_;
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_slots_;
   uint64_t next_seq_ = 0;
   size_t live_count_ = 0;
+  size_t tombstones_ = 0;
 };
 
 }  // namespace aegaeon

@@ -1,0 +1,31 @@
+#include "sim/parallel_sweep.h"
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+namespace aegaeon {
+
+int ParallelSweep::DefaultThreads() {
+  if (const char* env = std::getenv("AEGAEON_SWEEP_THREADS")) {
+    char* end = nullptr;
+    long parsed = std::strtol(env, &end, 10);
+    if (end != env && parsed > 0 && parsed <= 1024) {
+      return static_cast<int>(parsed);
+    }
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ParallelSweep::ParallelSweep(int threads)
+    : pool_(threads > 0 ? threads : DefaultThreads()) {}
+
+void ParallelSweep::Run(std::vector<std::function<void()>> tasks) {
+  for (auto& task : tasks) {
+    pool_.Submit(std::move(task));
+  }
+  pool_.Wait();
+}
+
+}  // namespace aegaeon

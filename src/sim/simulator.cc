@@ -1,9 +1,18 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 namespace aegaeon {
+
+namespace {
+
+double Elapsed(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace
 
 EventId Simulator::At(TimePoint when, EventQueue::Callback cb) {
   return queue_.Push(std::max(when, now_), std::move(cb));
@@ -14,6 +23,7 @@ EventId Simulator::After(Duration delay, EventQueue::Callback cb) {
 }
 
 uint64_t Simulator::Run() {
+  auto start = std::chrono::steady_clock::now();
   uint64_t processed = 0;
   while (!queue_.empty()) {
     // Advance the clock *before* running the callback so that Now() inside
@@ -22,11 +32,13 @@ uint64_t Simulator::Run() {
     queue_.PopAndRun();
     ++processed;
   }
-  events_processed_ += processed;
+  perf_.events_processed += processed;
+  perf_.wall_seconds += Elapsed(start);
   return processed;
 }
 
 uint64_t Simulator::RunUntil(TimePoint horizon) {
+  auto start = std::chrono::steady_clock::now();
   uint64_t processed = 0;
   while (!queue_.empty() && queue_.NextTime() <= horizon) {
     now_ = queue_.NextTime();
@@ -34,7 +46,8 @@ uint64_t Simulator::RunUntil(TimePoint horizon) {
     ++processed;
   }
   now_ = std::max(now_, horizon);
-  events_processed_ += processed;
+  perf_.events_processed += processed;
+  perf_.wall_seconds += Elapsed(start);
   return processed;
 }
 

@@ -14,6 +14,18 @@
 
 namespace aegaeon {
 
+// Host-side cost of a simulation run. The wall-clock numbers are measured,
+// not simulated — they vary run to run and must be excluded from any
+// determinism comparison of run results.
+struct SimPerfCounters {
+  uint64_t events_processed = 0;
+  double wall_seconds = 0.0;
+
+  double EventsPerSec() const {
+    return wall_seconds > 0.0 ? static_cast<double>(events_processed) / wall_seconds : 0.0;
+  }
+};
+
 class Simulator {
  public:
   Simulator() = default;
@@ -41,14 +53,20 @@ class Simulator {
   uint64_t RunUntil(TimePoint horizon);
 
   // Number of events processed so far across all Run* calls.
-  uint64_t events_processed() const { return events_processed_; }
+  uint64_t events_processed() const { return perf_.events_processed; }
+
+  // Host wall-clock time spent inside Run* calls so far.
+  double wall_seconds() const { return perf_.wall_seconds; }
+
+  // Events processed and wall-clock cost across all Run* calls.
+  const SimPerfCounters& perf() const { return perf_; }
 
   bool pending() const { return !queue_.empty(); }
 
  private:
   EventQueue queue_;
   TimePoint now_ = 0.0;
-  uint64_t events_processed_ = 0;
+  SimPerfCounters perf_;
 };
 
 }  // namespace aegaeon

@@ -1,0 +1,96 @@
+#include "sim/thread_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace aegaeon {
+
+ThreadPool::ThreadPool(int threads) {
+  int n = std::max(threads, 1);
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(static_cast<size_t>(i)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  Wait();
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void ThreadPool::Submit(Task task) {
+  size_t target = next_worker_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+  inflight_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(workers_[target]->mu);
+    workers_[target]->tasks.push_back(std::move(task));
+  }
+  wake_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(wake_mu_);
+  idle_cv_.wait(lock, [this] { return inflight_.load(std::memory_order_acquire) == 0; });
+}
+
+bool ThreadPool::TryPopOwn(size_t self, Task& task) {
+  Worker& w = *workers_[self];
+  std::lock_guard<std::mutex> lock(w.mu);
+  if (w.tasks.empty()) {
+    return false;
+  }
+  task = std::move(w.tasks.front());
+  w.tasks.pop_front();
+  return true;
+}
+
+bool ThreadPool::TrySteal(size_t self, Task& task) {
+  size_t n = workers_.size();
+  for (size_t i = 1; i < n; ++i) {
+    Worker& victim = *workers_[(self + i) % n];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.tasks.empty()) {
+      task = std::move(victim.tasks.back());
+      victim.tasks.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(size_t self) {
+  for (;;) {
+    Task task;
+    if (TryPopOwn(self, task) || TrySteal(self, task)) {
+      task();
+      if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Last task out: wake Wait()ers. Take the lock so the notification
+        // cannot race between a waiter's predicate check and its sleep.
+        std::lock_guard<std::mutex> lock(wake_mu_);
+        idle_cv_.notify_all();
+      }
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    if (stop_) {
+      return;
+    }
+    // Re-check the queues under the wake lock: a Submit may have landed
+    // between the failed pop attempts and here.
+    wake_cv_.wait_for(lock, std::chrono::milliseconds(1));
+  }
+}
+
+}  // namespace aegaeon

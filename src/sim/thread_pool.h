@@ -1,0 +1,67 @@
+// A small work-stealing thread pool for fanning independent simulation runs
+// across cores. Each worker owns a deque: tasks are distributed round-robin
+// at submission, a worker pops from the front of its own deque, and an idle
+// worker steals from the back of a victim's deque. There is no global queue
+// to contend on; the pool is oblivious to what the tasks compute.
+
+#ifndef AEGAEON_SIM_THREAD_POOL_H_
+#define AEGAEON_SIM_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace aegaeon {
+
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  // Spawns `threads` workers (clamped to >= 1).
+  explicit ThreadPool(int threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Drains nothing: joins once outstanding tasks finish. Submitting after
+  // destruction begins is a programming error.
+  ~ThreadPool();
+
+  int size() const { return static_cast<int>(threads_.size()); }
+
+  // Enqueues `task` for execution on some worker. Thread-safe.
+  void Submit(Task task);
+
+  // Blocks until every task submitted so far has finished running.
+  void Wait();
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::deque<Task> tasks;
+  };
+
+  void WorkerLoop(size_t self);
+  bool TryPopOwn(size_t self, Task& task);
+  bool TrySteal(size_t self, Task& task);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::condition_variable idle_cv_;
+  std::atomic<size_t> next_worker_{0};
+  // Tasks submitted but not yet finished running.
+  std::atomic<size_t> inflight_{0};
+  bool stop_ = false;
+};
+
+}  // namespace aegaeon
+
+#endif  // AEGAEON_SIM_THREAD_POOL_H_

@@ -2,12 +2,28 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
 #include <vector>
 
+#include "baselines/muxserve.h"
+#include "baselines/serverless_llm.h"
+#include "core/cluster.h"
+#include "hw/gpu_spec.h"
+#include "model/registry.h"
+#include "sim/callback.h"
 #include "sim/event_queue.h"
+#include "sim/parallel_sweep.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
+#include "sim/thread_pool.h"
+#include "workload/dataset.h"
+#include "workload/generator.h"
 
 namespace aegaeon {
 namespace {
@@ -65,6 +81,228 @@ TEST(EventQueueTest, DoubleCancelFails) {
   EXPECT_TRUE(queue.Cancel(id));
   EXPECT_FALSE(queue.Cancel(id));
   EXPECT_FALSE(queue.Cancel(9999));
+}
+
+TEST(EventCallbackTest, MoveOnlyCapture) {
+  auto value = std::make_unique<int>(41);
+  EventCallback cb([v = std::move(value)] { *v += 1; });
+  EXPECT_TRUE(static_cast<bool>(cb));
+  EXPECT_TRUE(cb.is_inline());  // unique_ptr fits the SBO buffer
+  EventCallback moved = std::move(cb);
+  moved();
+}
+
+TEST(EventCallbackTest, SmallCaptureStaysInline) {
+  int sum = 0;
+  // 40 bytes of capture: under the 48-byte SBO budget.
+  struct {
+    int* out;
+    uint64_t pad[4];
+  } payload{&sum, {1, 2, 3, 4}};
+  EventCallback cb([payload] { *payload.out += static_cast<int>(payload.pad[3]); });
+  EXPECT_TRUE(cb.is_inline());
+  cb();
+  EXPECT_EQ(sum, 4);
+}
+
+TEST(EventCallbackTest, OversizeCaptureFallsBackToHeap) {
+  int sum = 0;
+  struct {
+    int* out;
+    uint64_t pad[16];  // 136 bytes: over the SBO budget
+  } payload{&sum, {}};
+  payload.pad[15] = 7;
+  EventCallback cb([payload] { *payload.out += static_cast<int>(payload.pad[15]); });
+  EXPECT_FALSE(cb.is_inline());
+  EventCallback moved = std::move(cb);  // heap case: move transfers the pointer
+  moved();
+  EXPECT_EQ(sum, 7);
+}
+
+TEST(EventCallbackTest, MoveOnlyCaptureThroughQueue) {
+  EventQueue queue;
+  int result = 0;
+  auto value = std::make_unique<int>(10);
+  queue.Push(1.0, [v = std::move(value), &result] { result = *v; });
+  queue.PopAndRun();
+  EXPECT_EQ(result, 10);
+}
+
+TEST(EventQueueTest, FifoPreservedAcrossCancellations) {
+  // Interleave cancellations with same-timestamp pushes: survivors must
+  // still fire in scheduling order after the tombstone rework.
+  EventQueue queue;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 64; ++i) {
+    ids.push_back(queue.Push(5.0, [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 0; i < 64; i += 3) {
+    EXPECT_TRUE(queue.Cancel(ids[i]));
+  }
+  while (!queue.empty()) {
+    queue.PopAndRun();
+  }
+  std::vector<int> expected;
+  for (int i = 0; i < 64; ++i) {
+    if (i % 3 != 0) {
+      expected.push_back(i);
+    }
+  }
+  EXPECT_EQ(order, expected);
+}
+
+TEST(EventQueueTest, CancelAfterFireFails) {
+  EventQueue queue;
+  EventId id = queue.Push(1.0, [] {});
+  queue.PopAndRun();
+  // The slot generation was bumped when the event fired; the stale handle
+  // must be rejected (the old implementation accepted it and leaked).
+  EXPECT_FALSE(queue.Cancel(id));
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(EventQueueTest, BoundedMemoryOverScheduleCancelCycles) {
+  // 1M schedule/cancel cycles with a few live events: tombstones must be
+  // reclaimed (amortized compaction), not accumulate for the whole horizon.
+  EventQueue queue;
+  for (int live = 0; live < 4; ++live) {
+    queue.Push(1e12 + live, [] {});
+  }
+  for (int cycle = 0; cycle < 1000000; ++cycle) {
+    EventId id = queue.Push(static_cast<double>(cycle), [] {});
+    ASSERT_TRUE(queue.Cancel(id));
+  }
+  EXPECT_EQ(queue.size(), 4u);
+  // Heap: live entries plus a bounded tombstone backlog (compaction keeps
+  // tombstones <= half the heap, and the heap never exceeds the compaction
+  // floor while live_count_ is tiny).
+  EXPECT_LE(queue.heap_size(), 128u);
+  // Slots are recycled through the free list rather than grown per push.
+  EXPECT_LE(queue.slot_capacity(), 128u);
+  while (!queue.empty()) {
+    queue.PopAndRun();
+  }
+  EXPECT_EQ(queue.heap_size(), 0u);
+}
+
+TEST(ThreadPoolTest, RunsAllTasksAcrossWorkers) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ParallelSweepTest, MapPreservesInputOrder) {
+  ParallelSweep sweep(4);
+  std::vector<std::function<int()>> tasks;
+  for (int i = 0; i < 64; ++i) {
+    tasks.push_back([i] {
+      if (i % 7 == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      return i * i;
+    });
+  }
+  std::vector<int> results = sweep.Map(std::move(tasks));
+  ASSERT_EQ(results.size(), 64u);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(results[i], i * i);
+  }
+}
+
+TEST(ParallelSweepTest, ThreadCountEnvOverride) {
+  ASSERT_EQ(setenv("AEGAEON_SWEEP_THREADS", "3", 1), 0);
+  EXPECT_EQ(ParallelSweep::DefaultThreads(), 3);
+  ASSERT_EQ(setenv("AEGAEON_SWEEP_THREADS", "not-a-number", 1), 0);
+  EXPECT_GE(ParallelSweep::DefaultThreads(), 1);
+  ASSERT_EQ(unsetenv("AEGAEON_SWEEP_THREADS"), 0);
+}
+
+// --- Determinism under parallelism -------------------------------------
+
+// Full-field comparison of the deterministic parts of RunMetrics. The sim
+// perf counters are wall-clock measurements and are deliberately excluded.
+void ExpectSameMetrics(const RunMetrics& a, const RunMetrics& b, const char* label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(a.total_requests, b.total_requests);
+  EXPECT_EQ(a.completed_requests, b.completed_requests);
+  EXPECT_EQ(a.tokens_total, b.tokens_total);
+  EXPECT_EQ(a.tokens_met, b.tokens_met);
+  EXPECT_EQ(a.horizon, b.horizon);  // bitwise: same double or bust
+  EXPECT_EQ(a.breakdown.prefill_wait, b.breakdown.prefill_wait);
+  EXPECT_EQ(a.breakdown.prefill_exec, b.breakdown.prefill_exec);
+  EXPECT_EQ(a.breakdown.decode_wait, b.breakdown.decode_wait);
+  EXPECT_EQ(a.breakdown.decode_exec, b.breakdown.decode_exec);
+  EXPECT_EQ(a.breakdown.control_overhead, b.breakdown.control_overhead);
+  EXPECT_EQ(a.breakdown.data_overhead, b.breakdown.data_overhead);
+  EXPECT_EQ(a.ttft_samples, b.ttft_samples);
+  EXPECT_EQ(a.request_latency_samples, b.request_latency_samples);
+  EXPECT_EQ(a.switch_latency_samples, b.switch_latency_samples);
+  EXPECT_EQ(a.kv_sync_samples, b.kv_sync_samples);
+}
+
+TEST(ParallelSweepTest, SweepMatchesSerialBitIdentically) {
+  // A shrunk bench_fig11 sweep: (point x system) pairs run once serially in
+  // input order and once through an 8-worker ParallelSweep; every pair's
+  // RunMetrics must be bit-identical.
+  constexpr double kTestHorizon = 30.0;
+  constexpr uint64_t kTestSeed = 2025;
+  const std::vector<int> model_counts = {8, 16};
+
+  enum SystemKind { kAegaeon, kServerless, kServerlessPlus, kMuxServe, kSystems };
+  auto run_pair = [&](int models, int system) {
+    ModelRegistry registry = ModelRegistry::MidSizeMarket(models);
+    auto trace =
+        GeneratePoisson(registry, 0.1, kTestHorizon, Dataset::ShareGpt(), kTestSeed);
+    switch (system) {
+      case kAegaeon: {
+        AegaeonConfig config;
+        config.prefill_instances = 6;
+        config.decode_instances = 10;
+        AegaeonCluster cluster(config, registry, GpuSpec::H800());
+        return cluster.Run(trace);
+      }
+      case kServerless:
+      case kServerlessPlus: {
+        ServerlessLlmConfig config;
+        config.gpus = 16;
+        config.sjf = system == kServerlessPlus;
+        ServerlessLlmCluster cluster(config, registry, GpuSpec::H800());
+        return cluster.Run(trace);
+      }
+      default: {
+        MuxServeConfig config;
+        config.gpus = 16;
+        MuxServeCluster cluster(config, registry, GpuSpec::H800());
+        return cluster.Run(trace);
+      }
+    }
+  };
+
+  std::vector<RunMetrics> serial;
+  std::vector<std::function<RunMetrics()>> tasks;
+  for (int models : model_counts) {
+    for (int system = 0; system < kSystems; ++system) {
+      serial.push_back(run_pair(models, system));
+      tasks.push_back([&run_pair, models, system] { return run_pair(models, system); });
+    }
+  }
+
+  ParallelSweep sweep(8);
+  std::vector<RunMetrics> parallel = sweep.Map(std::move(tasks));
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  const char* names[] = {"aegaeon", "serverless", "serverless+", "muxserve"};
+  for (size_t i = 0; i < serial.size(); ++i) {
+    std::string label = std::string(names[i % kSystems]) + " models=" +
+                        std::to_string(model_counts[i / kSystems]);
+    ExpectSameMetrics(serial[i], parallel[i], label.c_str());
+  }
 }
 
 TEST(SimulatorTest, ClockAdvancesWithEvents) {

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Builds Release, runs the simulator-core perf bench plus one end-to-end
+# bench, and fails if single-thread events/sec regressed more than 20%
+# against the checked-in baseline (tools/bench_baseline.json).
+#
+# The comparison is machine-speed-normalized: each bench_sim_perf run also
+# measures an inline replica of the legacy queue on the same machine in the
+# same process, so the gate compares current/legacy throughput RATIOS. An
+# absolute events/sec comparison would flag every run on a slower or noisier
+# box than the one that produced the baseline.
+#
+# Usage: tools/run_benches.sh [build-dir]    (default: build-bench)
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build-bench}"
+BASELINE="$REPO_ROOT/tools/bench_baseline.json"
+RESULT="$BUILD_DIR/BENCH_sim_perf.json"
+MAX_REGRESSION_PCT=20
+
+echo "== Configuring Release build in $BUILD_DIR"
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release > /dev/null
+cmake --build "$BUILD_DIR" -j --target bench_sim_perf bench_fig13_stricter_slos > /dev/null
+
+echo "== Running bench_sim_perf"
+"$BUILD_DIR/bench/bench_sim_perf" "$RESULT"
+
+echo
+echo "== Running bench_fig13_stricter_slos (e2e smoke)"
+"$BUILD_DIR/bench/bench_fig13_stricter_slos"
+
+json_field() {  # json_field <file> <key>  — first "key": <number> match
+  sed -n "s/.*\"$2\": *\([0-9.]*\).*/\1/p" "$1" | head -1
+}
+
+current=$(json_field "$RESULT" events_per_sec)
+current_legacy=$(json_field "$RESULT" legacy_events_per_sec)
+baseline=$(json_field "$BASELINE" events_per_sec)
+baseline_legacy=$(json_field "$BASELINE" legacy_events_per_sec)
+identical=$(sed -n 's/.*"identical_results": *\(true\|false\).*/\1/p' "$RESULT")
+cores=$(json_field "$RESULT" hardware_concurrency)
+speedup=$(json_field "$RESULT" speedup)
+
+current_ratio=$(awk -v c="$current" -v l="$current_legacy" 'BEGIN { printf "%.3f", c / l }')
+baseline_ratio=$(awk -v c="$baseline" -v l="$baseline_legacy" 'BEGIN { printf "%.3f", c / l }')
+
+echo
+echo "== Regression gate"
+echo "   queue speedup over legacy: current=${current_ratio}x baseline=${baseline_ratio}x" \
+     "(max regression ${MAX_REGRESSION_PCT}%)"
+
+if [ "$identical" != "true" ]; then
+  echo "FAIL: parallel sweep diverged from serial results" >&2
+  exit 1
+fi
+
+# current ratio must be >= baseline ratio * (1 - MAX_REGRESSION_PCT/100)
+ok=$(awk -v c="$current_ratio" -v b="$baseline_ratio" -v m="$MAX_REGRESSION_PCT" \
+  'BEGIN { print (c >= b * (1 - m / 100.0)) ? "yes" : "no" }')
+if [ "$ok" != "yes" ]; then
+  echo "FAIL: queue speedup over legacy regressed more than ${MAX_REGRESSION_PCT}% vs baseline" >&2
+  exit 1
+fi
+
+# The >=3x sweep speedup claim only applies on >=4 cores; report otherwise.
+if awk -v n="$cores" 'BEGIN { exit !(n >= 4) }'; then
+  if ! awk -v s="$speedup" 'BEGIN { exit !(s >= 3.0) }'; then
+    echo "FAIL: sweep speedup ${speedup}x < 3x on a ${cores}-core machine" >&2
+    exit 1
+  fi
+  echo "   sweep speedup: ${speedup}x on ${cores} cores (>= 3x required)"
+else
+  echo "   sweep speedup: ${speedup}x on ${cores} core(s) (3x gate requires >= 4 cores; skipped)"
+fi
+
+echo "PASS"

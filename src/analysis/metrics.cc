@@ -28,9 +28,27 @@ RunMetrics FoldRequests(const std::vector<Request>& requests, Duration horizon) 
     metrics.total_requests++;
     metrics.tokens_total += r.output_tokens;
     metrics.tokens_met += r.tokens_met;
+    metrics.retry_attempts += r.dispatch_attempts;
+    if (r.degraded) {
+      metrics.degraded_requests++;
+    }
+    if (r.proxy_outcome != ProxyOutcome::kNone) {
+      // Never dispatched: no execution record to fold, and its tokens all
+      // count as missed demand (already added above with tokens_met == 0).
+      switch (r.proxy_outcome) {
+        case ProxyOutcome::kRejected: metrics.rejected_requests++; break;
+        case ProxyOutcome::kShed: metrics.shed_requests++; break;
+        case ProxyOutcome::kTimedOut: metrics.timed_out_requests++; break;
+        case ProxyOutcome::kNone: break;
+      }
+      continue;
+    }
     if (r.finished()) {
       metrics.completed_requests++;
       metrics.request_latency_samples.push_back(r.completion - r.arrival);
+      if (r.tokens_met * 10 >= r.output_tokens * 9) {
+        metrics.slo_good_requests++;
+      }
     } else if (r.generated < r.output_tokens && r.tokens_met > r.generated) {
       // Defensive: met count can never exceed generated tokens.
       metrics.tokens_met -= (r.tokens_met - r.generated);

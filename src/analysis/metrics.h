@@ -38,6 +38,17 @@ struct RunMetrics {
 
   LatencyBreakdown breakdown;
 
+  // Serving-proxy outcomes (src/serve). All zero when the proxy is
+  // disabled: every request is then dispatched unconditionally.
+  uint64_t rejected_requests = 0;   // admission control turned them away
+  uint64_t shed_requests = 0;       // evicted from the held queue
+  uint64_t timed_out_requests = 0;  // deadline expired while held
+  uint64_t degraded_requests = 0;   // output capped under overload
+  uint64_t retry_attempts = 0;      // failure-displaced re-dispatches
+  // Completed requests meeting the goodput floor (>= 90% of their tokens
+  // produced on time) — the numerator of Goodput().
+  uint64_t slo_good_requests = 0;
+
   std::vector<double> ttft_samples;
   std::vector<double> request_latency_samples;
   std::vector<double> switch_latency_samples;   // Figure 15 (left)
@@ -56,6 +67,13 @@ struct RunMetrics {
   // Completed requests per second over the makespan.
   double Throughput() const {
     return horizon <= 0.0 ? 0.0 : static_cast<double>(completed_requests) / horizon;
+  }
+
+  // SLO-attained completed requests per second: the overload headline. A
+  // system that admits everything and misses every deadline has high
+  // throughput and zero goodput.
+  double Goodput() const {
+    return horizon <= 0.0 ? 0.0 : static_cast<double>(slo_good_requests) / horizon;
   }
 };
 

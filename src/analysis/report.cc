@@ -22,6 +22,12 @@ std::vector<ModelReport> BuildPerModelReport(const std::vector<Request>& request
     report.completed += r.finished() ? 1 : 0;
     report.tokens_total += r.output_tokens;
     report.tokens_met += r.tokens_met;
+    switch (r.proxy_outcome) {
+      case ProxyOutcome::kRejected: report.rejected++; break;
+      case ProxyOutcome::kShed: report.shed++; break;
+      case ProxyOutcome::kTimedOut: report.timed_out++; break;
+      case ProxyOutcome::kNone: break;
+    }
     if (r.first_token_time != kTimeUnset) {
       ttfts[r.model].push_back(r.first_token_time - r.arrival);
     }
@@ -37,13 +43,45 @@ std::vector<ModelReport> BuildPerModelReport(const std::vector<Request>& request
 }
 
 void PrintPerModelReport(std::ostream& os, const std::vector<ModelReport>& report) {
-  Table table({"model", "requests", "completed", "SLO attain", "mean TTFT", "p99 TTFT"});
+  bool any_rejected = false, any_shed = false, any_timed_out = false;
   for (const ModelReport& row : report) {
-    table.AddRow({row.name, std::to_string(row.requests), std::to_string(row.completed),
-                  Table::Pct(row.Attainment()), Table::Num(row.mean_ttft, 3) + "s",
-                  Table::Num(row.p99_ttft, 3) + "s"});
+    any_rejected |= row.rejected > 0;
+    any_shed |= row.shed > 0;
+    any_timed_out |= row.timed_out > 0;
+  }
+  std::vector<std::string> headers = {"model", "requests", "completed"};
+  if (any_rejected) headers.push_back("rejected");
+  if (any_shed) headers.push_back("shed");
+  if (any_timed_out) headers.push_back("timeout");
+  headers.insert(headers.end(), {"SLO attain", "mean TTFT", "p99 TTFT"});
+  Table table(std::move(headers));
+  for (const ModelReport& row : report) {
+    std::vector<std::string> cells = {row.name, std::to_string(row.requests),
+                                      std::to_string(row.completed)};
+    if (any_rejected) cells.push_back(std::to_string(row.rejected));
+    if (any_shed) cells.push_back(std::to_string(row.shed));
+    if (any_timed_out) cells.push_back(std::to_string(row.timed_out));
+    cells.insert(cells.end(), {Table::Pct(row.Attainment()), Table::Num(row.mean_ttft, 3) + "s",
+                               Table::Num(row.p99_ttft, 3) + "s"});
+    table.AddRow(std::move(cells));
   }
   table.Print(os);
+}
+
+double JainFairness(const std::vector<ModelReport>& report) {
+  if (report.empty()) {
+    return 1.0;
+  }
+  double sum = 0.0, sum_sq = 0.0;
+  for (const ModelReport& row : report) {
+    double x = row.Attainment();
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) {
+    return 1.0;  // everyone equally at zero
+  }
+  return (sum * sum) / (static_cast<double>(report.size()) * sum_sq);
 }
 
 void WriteMetricsJson(std::ostream& os, const RunMetrics& metrics) {
@@ -55,7 +93,25 @@ void WriteMetricsJson(std::ostream& os, const RunMetrics& metrics) {
      << "\"tokens_met\":" << metrics.tokens_met << ","
      << "\"slo_attainment\":" << metrics.SloAttainment() << ","
      << "\"throughput_rps\":" << metrics.Throughput() << ","
-     << "\"horizon_s\":" << metrics.horizon << ","
+     << "\"goodput_rps\":" << metrics.Goodput() << ",";
+  // Proxy-outcome counters only appear when nonzero, so proxy-less runs
+  // keep their original key set.
+  if (metrics.rejected_requests > 0) {
+    os << "\"rejected_requests\":" << metrics.rejected_requests << ",";
+  }
+  if (metrics.shed_requests > 0) {
+    os << "\"shed_requests\":" << metrics.shed_requests << ",";
+  }
+  if (metrics.timed_out_requests > 0) {
+    os << "\"timed_out_requests\":" << metrics.timed_out_requests << ",";
+  }
+  if (metrics.degraded_requests > 0) {
+    os << "\"degraded_requests\":" << metrics.degraded_requests << ",";
+  }
+  if (metrics.retry_attempts > 0) {
+    os << "\"retry_attempts\":" << metrics.retry_attempts << ",";
+  }
+  os << "\"horizon_s\":" << metrics.horizon << ","
      << "\"ttft_mean_s\":" << Mean(metrics.ttft_samples) << ","
      << "\"ttft_p99_s\":"
      << Percentile(metrics.ttft_samples, 99) << ","

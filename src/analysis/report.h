@@ -22,6 +22,10 @@ struct ModelReport {
   uint64_t completed = 0;
   int64_t tokens_total = 0;
   int64_t tokens_met = 0;
+  // Serving-proxy outcomes for this model (all zero when disabled).
+  uint64_t rejected = 0;
+  uint64_t shed = 0;
+  uint64_t timed_out = 0;
   double mean_ttft = 0.0;
   double p99_ttft = 0.0;
 
@@ -35,8 +39,14 @@ struct ModelReport {
 std::vector<ModelReport> BuildPerModelReport(const std::vector<Request>& requests,
                                              const ModelRegistry& registry);
 
-// Aligned table of the per-model report.
+// Aligned table of the per-model report. Proxy-outcome columns (rejected /
+// shed / timeout) appear only when at least one row has a nonzero count, so
+// proxy-less runs print the familiar narrow table.
 void PrintPerModelReport(std::ostream& os, const std::vector<ModelReport>& report);
+
+// Jain's fairness index over per-model SLO attainment, in (0, 1]: 1.0 means
+// every model attains equally; 1/n means one model takes everything.
+double JainFairness(const std::vector<ModelReport>& report);
 
 // Flat JSON object with the run's headline metrics (for dashboards/CI).
 void WriteMetricsJson(std::ostream& os, const RunMetrics& metrics);

@@ -18,9 +18,43 @@ Duration ServerlessLlmCluster::SwitchCost(ModelId model) const {
   return latency_.SwitchLoad(dm.spec, dm.tp) + config_.init_overhead;
 }
 
+Duration ServerlessLlmCluster::ServiceEstimate(const Request& request) const {
+  const DeployedModel& dm = registry_.Get(request.model);
+  return latency_.PrefillOne(dm.spec, dm.tp, request.prompt_tokens) +
+         latency_.DecodeStep(dm.spec, dm.tp, request.prompt_tokens + request.output_tokens) *
+             static_cast<double>(request.output_tokens);
+}
+
+Duration ServerlessLlmCluster::BacklogEstimate() const {
+  // Instances run requests to completion before switching, so a newcomer's
+  // queue delay is the full remaining service of everything ahead of it on
+  // the least-backlogged instance.
+  Duration best = std::numeric_limits<double>::infinity();
+  for (const Instance& inst : instances_) {
+    Duration load = inst.server != nullptr ? inst.server->EstimatedWork() : Duration{0.0};
+    for (const Request* r : inst.waiting) {
+      load += ServiceEstimate(*r);
+    }
+    best = std::min(best, load);
+  }
+  return instances_.empty() ? 1e9 : best;
+}
+
 RunMetrics ServerlessLlmCluster::Run(const std::vector<ArrivalEvent>& trace) {
   requests_.clear();
   requests_.reserve(trace.size());
+  if (config_.proxy.enabled) {
+    ServingProxy::Backend backend;
+    backend.queue_delay = [this](const Request&) { return BacklogEstimate(); };
+    backend.exec_estimate = [this](const Request& r) {
+      const DeployedModel& dm = registry_.Get(r.model);
+      return latency_.PrefillOne(dm.spec, dm.tp, r.prompt_tokens);
+    };
+    backend.slo = [this](ModelId m) { return registry_.Get(m).slo; };
+    backend.dispatch = [this](Request* r) { OnArrival(r); };
+    proxy_ = std::make_unique<ServingProxy>(config_.proxy, sim_, registry_.size(),
+                                            std::move(backend));
+  }
   for (const ArrivalEvent& event : trace) {
     Request request;
     request.id = requests_.size();
@@ -28,9 +62,14 @@ RunMetrics ServerlessLlmCluster::Run(const std::vector<ArrivalEvent>& trace) {
     request.prompt_tokens = event.prompt_tokens;
     request.output_tokens = std::max<int64_t>(1, event.output_tokens);
     request.arrival = event.time;
+    request.priority = event.priority;
     requests_.push_back(request);
     Request* r = &requests_.back();
-    sim_.At(event.time, [this, r] { OnArrival(r); });
+    if (proxy_ != nullptr) {
+      sim_.At(event.time, [this, r] { proxy_->OnArrival(r); });
+    } else {
+      sim_.At(event.time, [this, r] { OnArrival(r); });
+    }
   }
   sim_.Run();
   FillDecodeWaits(requests_);
@@ -143,6 +182,9 @@ void ServerlessLlmCluster::Kick(int i) {
     sim_.At(now + std::max(used, 1e-6), [this, i] {
       instances_[i].busy = false;
       Kick(i);
+      if (proxy_ != nullptr) {
+        proxy_->OnBackendProgress();  // a slice drained; backlog shrank
+      }
     });
     return;
   }

@@ -23,6 +23,7 @@
 #include "core/request.h"
 #include "model/latency_model.h"
 #include "model/registry.h"
+#include "serve/proxy.h"
 #include "sim/simulator.h"
 
 namespace aegaeon {
@@ -36,6 +37,9 @@ struct ServerlessLlmConfig {
   // Execution slice handed to the active server per scheduling round.
   Duration chunk = 0.25;
   int max_batch = 32;
+  // Optional overload-aware serving proxy in front of the cluster (the same
+  // policy implementation Aegaeon uses, for apples-to-apples goodput).
+  ProxyPolicy proxy;
 };
 
 class ServerlessLlmCluster {
@@ -46,6 +50,7 @@ class ServerlessLlmCluster {
   RunMetrics Run(const std::vector<ArrivalEvent>& trace);
 
   const std::vector<Request>& requests() const { return requests_; }
+  const ServingProxy* proxy() const { return proxy_.get(); }
 
  private:
   struct Instance {
@@ -58,6 +63,10 @@ class ServerlessLlmCluster {
 
   void OnArrival(Request* request);
   void Kick(int i);
+  // Full-service-time estimate of one waiting request (prefill + decode).
+  Duration ServiceEstimate(const Request& request) const;
+  // Least backlogged instance's estimated drain time (queue-delay hook).
+  Duration BacklogEstimate() const;
   // Moves same-model waiters into the active server, but never past an
   // older waiter of a different model (FCFS fairness prevents one model
   // from starving the queue via continuous batching).
@@ -71,6 +80,7 @@ class ServerlessLlmCluster {
   Simulator sim_;
   std::vector<Instance> instances_;
   std::vector<Request> requests_;
+  std::unique_ptr<ServingProxy> proxy_;
 };
 
 }  // namespace aegaeon

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <limits>
 #include <utility>
 
@@ -159,9 +160,53 @@ void AegaeonCluster::ScheduleFailure(bool prefill_partition, int index, TimePoin
   failure_plans_.push_back(plan);
 }
 
+void AegaeonCluster::MakeProxy() {
+  ServingProxy::Backend backend;
+  backend.queue_delay = [this](const Request& r) { return BacklogEstimate(r); };
+  backend.exec_estimate = [this](const Request& r) {
+    const DeployedModel& dm = registry_.Get(r.model);
+    return latency_.PrefillOne(dm.spec, dm.tp, r.prompt_tokens);
+  };
+  backend.slo = [this](ModelId m) { return registry_.Get(m).slo; };
+  backend.dispatch = [this](Request* r) { OnArrival(r); };
+  proxy_ = std::make_unique<ServingProxy>(config_.proxy, sim_, registry_.size(),
+                                          std::move(backend));
+}
+
+Duration AegaeonCluster::BacklogEstimate(const Request& request) const {
+  (void)request;
+  Duration best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < prefill_units_.size(); ++i) {
+    if (prefill_units_[i].failed) {
+      continue;
+    }
+    best = std::min(best, prefill_sched_->LoadEstimate(static_cast<int>(i)));
+  }
+  if (!std::isfinite(best)) {
+    return 1e9;  // whole prefill partition down; recovery re-pumps the proxy
+  }
+  // Decode back-pressure: requests already prefilled but waiting for decode
+  // KV capacity mean new admissions stall right after their first token.
+  // Each overflow entry adds roughly one decode-round quota of delay spread
+  // across the decoding instances.
+  if (!decode_overflow_.empty() && !decode_units_.empty()) {
+    best += static_cast<double>(decode_overflow_.size()) * config_.qmax /
+            static_cast<double>(decode_units_.size());
+  }
+  return best;
+}
+
+void AegaeonCluster::RequeuePrefill(Request* request) {
+  int target = prefill_sched_->OnArrival(request);
+  TryStartPrefill(target);
+}
+
 RunMetrics AegaeonCluster::Run(const std::vector<ArrivalEvent>& trace) {
   requests_.clear();
   requests_.reserve(trace.size());  // pointers into requests_ must stay valid
+  if (config_.proxy.enabled) {
+    MakeProxy();
+  }
   // Pre-stage checkpoints in every node's host model cache (deployment
   // warms caches before serving; overflow falls back to LRU + registry).
   for (NodeState& state : node_states_) {
@@ -185,9 +230,14 @@ RunMetrics AegaeonCluster::Run(const std::vector<ArrivalEvent>& trace) {
     request.prompt_tokens = event.prompt_tokens;
     request.output_tokens = std::max<int64_t>(1, event.output_tokens);
     request.arrival = event.time;
+    request.priority = event.priority;
     requests_.push_back(request);
     Request* r = &requests_.back();
-    sim_.At(event.time, [this, r] { OnArrival(r); });
+    if (proxy_ != nullptr) {
+      sim_.At(event.time, [this, r] { proxy_->OnArrival(r); });
+    } else {
+      sim_.At(event.time, [this, r] { OnArrival(r); });
+    }
   }
   sim_.Run();
   Duration horizon = sim_.Now();
@@ -271,8 +321,13 @@ void AegaeonCluster::FailPrefillUnit(int index, Duration downtime) {
     r->phase = RequestPhase::kQueuedPrefill;
     r->prefilled_tokens = 0;  // partial chunk progress died with the GPU
     r->control_overhead += config_.control_cost_per_decision;
-    int target = prefill_sched_->OnArrival(r);
-    TryStartPrefill(target);
+    if (proxy_ != nullptr) {
+      // Displaced work re-enters after an exponential backoff instead of
+      // piling up on the surviving instances all at once.
+      proxy_->RetryAfterFailure(r, [this, r] { RequeuePrefill(r); });
+    } else {
+      RequeuePrefill(r);
+    }
   }
   sim_.After(downtime, [this, index] { RecoverPrefillUnit(index); });
 }
@@ -287,6 +342,9 @@ void AegaeonCluster::RecoverPrefillUnit(int index) {
   unit.busy = false;
   prefill_sched_->SetAvailable(index, true);
   TryStartPrefill(index);
+  if (proxy_ != nullptr) {
+    proxy_->OnBackendProgress();
+  }
 }
 
 void AegaeonCluster::FailDecodeUnit(int index, Duration downtime) {
@@ -322,15 +380,22 @@ void AegaeonCluster::FailDecodeUnit(int index, Duration downtime) {
     if (r->kv.location == KvLocation::kCpu) {
       // Host copy survives: just re-dispatch to another decoding instance.
       r->phase = RequestPhase::kQueuedDecode;
-      DispatchDecode(r);
+      if (proxy_ != nullptr) {
+        proxy_->RetryAfterFailure(r, [this, r] { DispatchDecode(r); });
+      } else {
+        DispatchDecode(r);
+      }
     } else {
       // Device-resident KV is lost: recompute it via the prefill phase
       // (tokens already delivered to the user stay delivered).
       r->kv = KvHandle{};
       r->phase = RequestPhase::kQueuedPrefill;
       r->prefilled_tokens = 0;
-      int target = prefill_sched_->OnArrival(r);
-      TryStartPrefill(target);
+      if (proxy_ != nullptr) {
+        proxy_->RetryAfterFailure(r, [this, r] { RequeuePrefill(r); });
+      } else {
+        RequeuePrefill(r);
+      }
     }
   }
   sim_.After(downtime, [this, index] { RecoverDecodeUnit(index); });
@@ -342,6 +407,9 @@ void AegaeonCluster::RecoverDecodeUnit(int index) {
   unit.failed = false;
   unit.last_pressure = -1e18;
   DrainDecodeOverflow();
+  if (proxy_ != nullptr) {
+    proxy_->OnBackendProgress();
+  }
 }
 
 // --------------------------------------------------------------------------
@@ -491,6 +559,9 @@ void AegaeonCluster::FinishPrefill(int unit_index, Request* request) {
   unit.active = nullptr;
   unit.busy = false;
   TryStartPrefill(unit_index);
+  if (proxy_ != nullptr) {
+    proxy_->OnBackendProgress();  // a prefill slot just freed
+  }
 
   if (request->finished()) {
     // Single-token request: done at prefill.
@@ -624,6 +695,9 @@ void AegaeonCluster::OnDecodeComplete(DecodeUnit& unit, Request* request) {
       0.0, unit.committed_kv_bytes -
                static_cast<double>(request->billed_kv_tokens) * KvBytesPerToken(request->model));
   DrainDecodeOverflow();
+  if (proxy_ != nullptr) {
+    proxy_->OnBackendProgress();  // decode KV freed; back-pressure may clear
+  }
 }
 
 bool AegaeonCluster::MigrateKv(KvHandle& handle, int to_node, TimePoint now) {

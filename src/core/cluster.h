@@ -27,6 +27,7 @@
 #include "mem/model_cache.h"
 #include "model/latency_model.h"
 #include "model/registry.h"
+#include "serve/proxy.h"
 #include "sim/simulator.h"
 
 namespace aegaeon {
@@ -57,6 +58,8 @@ class AegaeonCluster {
   int node_count() const { return static_cast<int>(node_states_.size()); }
   // Cross-node KV migrations performed (locality misses).
   uint64_t kv_migrations() const { return kv_migrations_; }
+  // The serving proxy of the current/last Run (nullptr when disabled).
+  const ServingProxy* proxy() const { return proxy_.get(); }
   // Switch latencies across all instances (Figure 15 left).
   std::vector<double> SwitchLatencies() const;
 
@@ -140,6 +143,15 @@ class AegaeonCluster {
   void TryStartPrefill(int unit_index);
   void FinishPrefill(int unit_index, Request* request);
 
+  // Serving proxy (overload control). Constructed per Run when enabled.
+  void MakeProxy();
+  // Estimated delay before a request dispatched now would start prefill:
+  // the least-loaded healthy prefill queue, plus a decode back-pressure
+  // term when prefilled work is already waiting for decode KV capacity.
+  Duration BacklogEstimate(const Request& request) const;
+  // Re-admission of a failure-displaced request into the prefill phase.
+  void RequeuePrefill(Request* request);
+
   // Decode path.
   void DispatchDecode(Request* request);
   // Capacity-aware assignment; false when every unit's KV budget is full
@@ -172,6 +184,7 @@ class AegaeonCluster {
   std::vector<PrefillUnit> prefill_units_;
   std::vector<DecodeUnit> decode_units_;
   std::unique_ptr<PrefillScheduler> prefill_sched_;
+  std::unique_ptr<ServingProxy> proxy_;
 
   // Shape-class ids per model: [cache-specific]; index 0 = CPU cache,
   // 1 + unit-index for GPU caches (all caches register every model's shape

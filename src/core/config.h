@@ -6,6 +6,7 @@
 #include "engine/autoscaler.h"
 #include "engine/components.h"
 #include "hw/gpu_spec.h"
+#include "serve/policy.h"
 #include "sim/time.h"
 
 namespace aegaeon {
@@ -87,6 +88,11 @@ struct AegaeonConfig {
   Duration control_cost_per_decision = 0.0002;
 
   EngineCostModel engine_costs;
+
+  // Overload-aware serving proxy (src/serve): admission control, per-model
+  // fair queuing, load shedding, and failure-retry backoff. Disabled by
+  // default — the arrival path is then exactly the pre-proxy one.
+  ProxyPolicy proxy;
 
   // RNG seed for any internal stochastic choices.
   uint64_t seed = 1;

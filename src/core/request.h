@@ -24,6 +24,15 @@ enum class RequestPhase {
   kDone,
 };
 
+// Terminal decision of the serving proxy for requests it never dispatched
+// (src/serve). kNone for every request when the proxy is disabled.
+enum class ProxyOutcome : uint8_t {
+  kNone = 0,      // dispatched to the backend (or proxy disabled)
+  kRejected,      // turned away at arrival (admission control)
+  kShed,          // evicted from the held queue under overload
+  kTimedOut,      // held until its TTFT deadline became unreachable
+};
+
 struct Request {
   RequestId id = 0;
   ModelId model = kInvalidModel;
@@ -34,6 +43,17 @@ struct Request {
   TimePoint arrival = 0.0;
 
   RequestPhase phase = RequestPhase::kQueuedPrefill;
+
+  // --- Serving-proxy state (src/serve; inert when the proxy is disabled) --
+  // Scheduling priority: higher is more important; the proxy sheds the
+  // lowest-priority held work first.
+  int priority = 0;
+  // Times this request was re-dispatched after being displaced by an
+  // instance failure (each retry backs off exponentially).
+  uint32_t dispatch_attempts = 0;
+  // Output was capped by graceful degradation under sustained overload.
+  bool degraded = false;
+  ProxyOutcome proxy_outcome = ProxyOutcome::kNone;
 
   // --- Execution record -------------------------------------------------
   TimePoint prefill_start = kTimeUnset;
@@ -75,6 +95,8 @@ struct ArrivalEvent {
   ModelId model = kInvalidModel;
   int64_t prompt_tokens = 0;
   int64_t output_tokens = 1;
+  // Proxy shedding priority (higher = shed last); ignored without a proxy.
+  int priority = 0;
 };
 
 }  // namespace aegaeon

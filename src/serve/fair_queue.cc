@@ -1,0 +1,113 @@
+#include "serve/fair_queue.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aegaeon {
+
+WeightedFairQueue::WeightedFairQueue(size_t model_count, double default_weight)
+    : queues_(model_count),
+      weights_(model_count, default_weight > 0.0 ? default_weight : 1.0),
+      finish_tags_(model_count, 0.0) {}
+
+void WeightedFairQueue::SetWeight(ModelId model, double weight) {
+  assert(weight > 0.0);
+  weights_[model] = weight;
+}
+
+void WeightedFairQueue::Enqueue(Request* request, double cost) {
+  ModelId model = request->model;
+  // SFQ: a queue that went idle restarts at the current virtual time, so an
+  // idle period earns no credit (and a backlogged queue keeps its place).
+  double start = std::max(virtual_time_, finish_tags_[model]);
+  finish_tags_[model] = start + std::max(0.0, cost) / weights_[model];
+  queues_[model].push_back(Entry{request, start});
+  size_++;
+}
+
+Request* WeightedFairQueue::Head(ModelId model) const {
+  const std::deque<Entry>& q = queues_[model];
+  return q.empty() ? nullptr : q.front().request;
+}
+
+Request* WeightedFairQueue::PopHead(ModelId model) {
+  std::deque<Entry>& q = queues_[model];
+  if (q.empty()) {
+    return nullptr;
+  }
+  Entry entry = q.front();
+  q.pop_front();
+  size_--;
+  virtual_time_ = std::max(virtual_time_, entry.start_tag);
+  return entry.request;
+}
+
+ModelId WeightedFairQueue::MinTagModel(const std::function<bool(ModelId)>& eligible) const {
+  ModelId best = kInvalidModel;
+  double best_tag = 0.0;
+  for (size_t m = 0; m < queues_.size(); ++m) {
+    if (queues_[m].empty() || !eligible(static_cast<ModelId>(m))) {
+      continue;
+    }
+    double tag = queues_[m].front().start_tag;
+    if (best == kInvalidModel || tag < best_tag) {
+      best = static_cast<ModelId>(m);
+      best_tag = tag;
+    }
+  }
+  return best;
+}
+
+bool WeightedFairQueue::FindLowestPriority(size_t* model, size_t* pos) const {
+  const Request* victim = nullptr;
+  for (size_t m = 0; m < queues_.size(); ++m) {
+    const std::deque<Entry>& q = queues_[m];
+    for (size_t i = 0; i < q.size(); ++i) {
+      const Request* r = q[i].request;
+      bool worse = victim == nullptr || r->priority < victim->priority ||
+                   (r->priority == victim->priority &&
+                    (r->arrival > victim->arrival ||
+                     (r->arrival == victim->arrival && r->id > victim->id)));
+      if (worse) {
+        victim = r;
+        *model = m;
+        *pos = i;
+      }
+    }
+  }
+  return victim != nullptr;
+}
+
+const Request* WeightedFairQueue::PeekLowestPriority() const {
+  size_t model = 0;
+  size_t pos = 0;
+  if (!FindLowestPriority(&model, &pos)) {
+    return nullptr;
+  }
+  return queues_[model][pos].request;
+}
+
+Request* WeightedFairQueue::EvictLowestPriority() {
+  size_t model = 0;
+  size_t pos = 0;
+  if (!FindLowestPriority(&model, &pos)) {
+    return nullptr;
+  }
+  std::deque<Entry>& q = queues_[model];
+  Request* out = q[pos].request;
+  q.erase(q.begin() + static_cast<std::ptrdiff_t>(pos));
+  size_--;
+  return out;
+}
+
+std::vector<ModelId> WeightedFairQueue::NonEmptyModels() const {
+  std::vector<ModelId> models;
+  for (size_t m = 0; m < queues_.size(); ++m) {
+    if (!queues_[m].empty()) {
+      models.push_back(static_cast<ModelId>(m));
+    }
+  }
+  return models;
+}
+
+}  // namespace aegaeon

@@ -1,0 +1,73 @@
+// Policy knobs of the overload-aware serving proxy (src/serve).
+//
+// The proxy sits between the arrival source and a serving backend (the
+// Aegaeon cluster or a baseline) and decides, per request, whether to
+// dispatch it now, hold it, degrade it, or drop it. All policies are
+// deterministic functions of the simulated clock and backend state, so
+// proxy-enabled runs stay exactly reproducible. With `enabled == false`
+// the proxy is never constructed and the arrival path is byte-for-byte
+// the pre-proxy one.
+
+#ifndef AEGAEON_SERVE_POLICY_H_
+#define AEGAEON_SERVE_POLICY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace aegaeon {
+
+struct ProxyPolicy {
+  bool enabled = false;
+
+  // --- Deadline-aware admission control ---------------------------------
+  // A held request is dispatched only while its first token is still
+  // predicted to land within `admission_slack * TTFT` of arrival (predicted
+  // landing = now + backend queue delay + prefill execution estimate).
+  double admission_slack = 1.0;
+  // Reject a request outright at arrival when the estimated backlog delay
+  // (backend + proxy-held work) already exceeds `reject_slack * TTFT`:
+  // the client learns immediately instead of waiting for a doomed request.
+  // Between the two slacks the request is held and either admitted when
+  // load drops or shed when its deadline becomes unreachable.
+  double reject_slack = 2.0;
+
+  // --- Per-model weighted fair queuing ----------------------------------
+  // Service weight of every model unless overridden via
+  // ServingProxy::SetModelWeight. Higher weight = larger share of dispatch
+  // slots under contention.
+  double default_weight = 1.0;
+  // Token-bucket rate limit per model (requests/second); <= 0 disables
+  // rate limiting. `model_burst` is the bucket depth.
+  double model_rate = 0.0;
+  double model_burst = 8.0;
+
+  // --- Load shedding / graceful degradation -----------------------------
+  // Hard cap on proxy-held requests; beyond it the lowest-priority
+  // (then youngest) held request is shed.
+  size_t max_held = 4096;
+  // Under sustained overload (backlog infeasible for longer than
+  // `overload_window`), newly admitted requests have their output capped at
+  // `degraded_max_output_tokens` (<= 0 disables degradation). Trading tail
+  // tokens for admission keeps goodput high instead of missing every SLO.
+  Duration overload_window = 5.0;
+  int64_t degraded_max_output_tokens = 0;
+
+  // --- Retry with exponential backoff (failure displacement) ------------
+  // A request displaced by an instance failure re-enters after
+  // `retry_base_delay * 2^attempt`, capped at `retry_max_delay`, instead of
+  // re-dispatching immediately into the recovering pool.
+  Duration retry_base_delay = 0.25;
+  Duration retry_max_delay = 8.0;
+
+  // --- Pump cadence ------------------------------------------------------
+  // Poll interval for re-evaluating held requests when no backend progress
+  // event arrives (also bounds how long a doomed request lingers before it
+  // is timeout-shed).
+  Duration pump_interval = 0.05;
+};
+
+}  // namespace aegaeon
+
+#endif  // AEGAEON_SERVE_POLICY_H_

@@ -1,0 +1,184 @@
+#include "serve/proxy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace aegaeon {
+
+ServingProxy::ServingProxy(const ProxyPolicy& policy, Simulator& sim, size_t model_count,
+                           Backend backend)
+    : policy_(policy),
+      sim_(sim),
+      backend_(std::move(backend)),
+      queue_(model_count, policy.default_weight) {
+  assert(backend_.queue_delay && backend_.exec_estimate && backend_.slo && backend_.dispatch);
+  buckets_.reserve(model_count);
+  for (size_t i = 0; i < model_count; ++i) {
+    buckets_.emplace_back(policy_.model_rate, policy_.model_burst);
+  }
+}
+
+void ServingProxy::SetModelWeight(ModelId model, double weight) {
+  queue_.SetWeight(model, weight);
+}
+
+TimePoint ServingProxy::AdmissionDeadline(const Request& request) const {
+  return request.arrival + backend_.slo(request.model).ttft * policy_.admission_slack;
+}
+
+void ServingProxy::Drop(Request* request, ProxyOutcome outcome) {
+  request->proxy_outcome = outcome;
+  switch (outcome) {
+    case ProxyOutcome::kRejected:
+      stats_.rejected++;
+      break;
+    case ProxyOutcome::kShed:
+      stats_.shed++;
+      break;
+    case ProxyOutcome::kTimedOut:
+      stats_.timed_out++;
+      break;
+    case ProxyOutcome::kNone:
+      break;
+  }
+}
+
+void ServingProxy::OnArrival(Request* request) {
+  stats_.arrivals++;
+  Duration exec = backend_.exec_estimate(*request);
+  const SloSpec slo = backend_.slo(request->model);
+
+  // Admission control: the delay a new arrival queues behind is the live
+  // backend backlog plus everything the proxy itself is holding. When that
+  // already blows through `reject_slack * TTFT`, tell the client now rather
+  // than miss later.
+  Duration backlog = backend_.queue_delay(*request) + held_exec_sum_;
+  if (backlog + exec > slo.ttft * policy_.reject_slack) {
+    Drop(request, ProxyOutcome::kRejected);
+    return;
+  }
+
+  // Capacity shedding: beyond the hard queue cap, the lowest-priority held
+  // request makes room — unless the newcomer itself ranks no higher, in
+  // which case the newcomer is the one shed.
+  if (queue_.size() >= policy_.max_held) {
+    const Request* victim = queue_.PeekLowestPriority();
+    if (victim->priority >= request->priority) {
+      Drop(request, ProxyOutcome::kShed);
+      return;
+    }
+    Request* evicted = queue_.EvictLowestPriority();
+    held_exec_sum_ = std::max(0.0, held_exec_sum_ - backend_.exec_estimate(*evicted));
+    Drop(evicted, ProxyOutcome::kShed);
+  }
+
+  queue_.Enqueue(request, exec);
+  held_exec_sum_ += exec;
+  Pump();
+}
+
+void ServingProxy::OnBackendProgress() {
+  if (!queue_.empty()) {
+    Pump();
+  }
+}
+
+void ServingProxy::RetryAfterFailure(Request* request, std::function<void()> redispatch) {
+  Duration delay = policy_.retry_base_delay;
+  for (uint32_t i = 0; i < request->dispatch_attempts && delay < policy_.retry_max_delay; ++i) {
+    delay *= 2.0;
+  }
+  delay = std::min(delay, policy_.retry_max_delay);
+  request->dispatch_attempts++;
+  stats_.retries++;
+  sim_.After(delay, std::move(redispatch));
+}
+
+void ServingProxy::ShedExpired(TimePoint now) {
+  // Per-model FIFOs are deadline-ordered (same TTFT per model), so checking
+  // heads until one survives covers every expired request.
+  for (ModelId model : queue_.NonEmptyModels()) {
+    while (Request* head = queue_.Head(model)) {
+      Duration exec = backend_.exec_estimate(*head);
+      if (now + exec <= AdmissionDeadline(*head)) {
+        break;  // still reachable on an idle backend
+      }
+      queue_.PopHead(model);
+      held_exec_sum_ = std::max(0.0, held_exec_sum_ - exec);
+      Drop(head, ProxyOutcome::kTimedOut);
+    }
+  }
+}
+
+void ServingProxy::Pump() {
+  TimePoint now = sim_.Now();
+  ShedExpired(now);
+
+  TimePoint bucket_ready = kTimeNever;
+  while (!queue_.empty()) {
+    ModelId model = queue_.MinTagModel(
+        [&](ModelId m) { return buckets_[m].CanConsume(now); });
+    if (model == kInvalidModel) {
+      // Every backlogged model is rate-limited; wake exactly when the first
+      // bucket refills.
+      for (ModelId m : queue_.NonEmptyModels()) {
+        bucket_ready = std::min(bucket_ready, buckets_[m].NextAvailable(now));
+      }
+      break;
+    }
+    Request* request = queue_.Head(model);
+    Duration exec = backend_.exec_estimate(*request);
+    Duration backend_delay = backend_.queue_delay(*request);
+    if (now + backend_delay + exec > AdmissionDeadline(*request)) {
+      // The fairest candidate cannot meet TTFT through the current backend
+      // backlog: hold everything until capacity frees (later candidates are
+      // younger and queue behind the same backlog).
+      break;
+    }
+    queue_.PopHead(model);
+    held_exec_sum_ = std::max(0.0, held_exec_sum_ - exec);
+    buckets_[model].Consume(now);
+
+    // Graceful degradation: once overload has persisted past the window,
+    // admitted requests trade tail tokens for admission.
+    if (policy_.degraded_max_output_tokens > 0 && overload_since_ != kTimeNever &&
+        now - overload_since_ >= policy_.overload_window &&
+        request->output_tokens > policy_.degraded_max_output_tokens) {
+      request->output_tokens = policy_.degraded_max_output_tokens;
+      request->degraded = true;
+      stats_.degraded++;
+    }
+    stats_.dispatched++;
+    backend_.dispatch(request);
+  }
+
+  if (queue_.empty()) {
+    overload_since_ = kTimeNever;
+    return;
+  }
+  // Work is held back: demand exceeds what admission will let through.
+  if (overload_since_ == kTimeNever) {
+    overload_since_ = now;
+  }
+  TimePoint wake = now + policy_.pump_interval;
+  if (bucket_ready != kTimeNever) {
+    wake = std::min(wake, std::max(bucket_ready, now));
+  }
+  SchedulePump(wake);
+}
+
+void ServingProxy::SchedulePump(TimePoint when) {
+  if (next_pump_ != kTimeNever && next_pump_ <= when) {
+    return;  // an earlier (or equal) poll is already scheduled
+  }
+  next_pump_ = when;
+  sim_.At(when, [this, when] {
+    if (next_pump_ == when) {
+      next_pump_ = kTimeNever;
+    }
+    Pump();
+  });
+}
+
+}  // namespace aegaeon

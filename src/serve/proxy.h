@@ -1,0 +1,117 @@
+// The overload-aware serving proxy (§3.3's proxy layer grown into a
+// first-class overload-control subsystem). It sits between the arrival
+// source and a serving backend and implements four policies:
+//
+//   1. Deadline-aware admission control: the proxy predicts when a request's
+//      first token would land (live backend queue delay + prefill execution
+//      estimate) and only dispatches requests that can still meet their
+//      TTFT SLO; hopeless arrivals are rejected immediately.
+//   2. Per-model weighted fair queuing with token-bucket rate limits, so a
+//      single hot model cannot starve the market's long tail of dispatch
+//      slots (the fairness failure §3.1 motivates).
+//   3. SLO-aware load shedding and graceful degradation: under sustained
+//      overload the lowest-priority held work is shed first, held requests
+//      whose deadline becomes unreachable are timeout-shed, and (optionally)
+//      admitted requests have their output capped — keeping goodput
+//      (SLO-attained throughput) high instead of letting every request miss.
+//   4. Retry with exponential backoff for requests displaced by instance
+//      failures, replacing immediate re-dispatch into a recovering pool.
+//
+// The proxy is backend-agnostic: the Aegaeon cluster and the baselines plug
+// in through a small callback surface, so goodput comparisons across systems
+// use the identical policy implementation. Everything is driven by the
+// discrete-event simulator and is fully deterministic.
+
+#ifndef AEGAEON_SERVE_PROXY_H_
+#define AEGAEON_SERVE_PROXY_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/request.h"
+#include "core/slo.h"
+#include "serve/fair_queue.h"
+#include "serve/policy.h"
+#include "serve/token_bucket.h"
+#include "sim/simulator.h"
+
+namespace aegaeon {
+
+struct ProxyStats {
+  uint64_t arrivals = 0;
+  uint64_t dispatched = 0;
+  uint64_t rejected = 0;
+  uint64_t shed = 0;
+  uint64_t timed_out = 0;
+  uint64_t degraded = 0;
+  uint64_t retries = 0;
+};
+
+class ServingProxy {
+ public:
+  // The backend surface the proxy schedules against. All callbacks must be
+  // set. Estimates may be rough; admission only needs them to be monotone
+  // in actual congestion.
+  struct Backend {
+    // Estimated delay before a request dispatched now would start prefill,
+    // from live prefill/decode occupancy.
+    std::function<Duration(const Request&)> queue_delay;
+    // Estimated prefill execution time of the request.
+    std::function<Duration(const Request&)> exec_estimate;
+    // SLO of a model.
+    std::function<SloSpec(ModelId)> slo;
+    // Hands an admitted request to the backend (called at dispatch time).
+    std::function<void(Request*)> dispatch;
+  };
+
+  ServingProxy(const ProxyPolicy& policy, Simulator& sim, size_t model_count, Backend backend);
+
+  // Entry point for trace arrivals (schedule at the arrival time).
+  void OnArrival(Request* request);
+
+  // Notify the proxy that backend capacity may have freed (a prefill slot
+  // opened, a request completed, an instance recovered): held requests are
+  // re-evaluated immediately instead of waiting for the next poll.
+  void OnBackendProgress();
+
+  // Schedules `redispatch` after an exponential backoff derived from the
+  // request's dispatch_attempts (doubling per attempt, capped). Used by the
+  // backend's fault-recovery path for requests displaced by failures.
+  void RetryAfterFailure(Request* request, std::function<void()> redispatch);
+
+  // Fair-queuing weight override for one model (default: policy weight).
+  void SetModelWeight(ModelId model, double weight);
+
+  const ProxyStats& stats() const { return stats_; }
+  size_t held() const { return queue_.size(); }
+
+ private:
+  void Pump();
+  void SchedulePump(TimePoint when);
+  void Drop(Request* request, ProxyOutcome outcome);
+  // Latest dispatch-feasible first-token landing for `request`.
+  TimePoint AdmissionDeadline(const Request& request) const;
+  // Sheds held requests whose TTFT deadline is unreachable even on an idle
+  // backend; returns `now` for convenience.
+  void ShedExpired(TimePoint now);
+
+  ProxyPolicy policy_;
+  Simulator& sim_;
+  Backend backend_;
+  WeightedFairQueue queue_;
+  std::vector<TokenBucket> buckets_;
+  // Total prefill-execution estimate of held requests: the proxy's own
+  // contribution to the backlog a new arrival would queue behind.
+  Duration held_exec_sum_ = 0.0;
+  // Start of the current overload episode (kTimeNever when not overloaded).
+  TimePoint overload_since_ = kTimeNever;
+  // Earliest already-scheduled pump (kTimeNever when none), to avoid
+  // flooding the event queue with redundant polls.
+  TimePoint next_pump_ = kTimeNever;
+  ProxyStats stats_;
+};
+
+}  // namespace aegaeon
+
+#endif  // AEGAEON_SERVE_PROXY_H_

@@ -1,0 +1,69 @@
+// A continuous-refill token bucket, used by the serving proxy for per-model
+// dispatch rate limits. Deterministic: refill is a pure function of the
+// simulated clock.
+
+#ifndef AEGAEON_SERVE_TOKEN_BUCKET_H_
+#define AEGAEON_SERVE_TOKEN_BUCKET_H_
+
+#include <algorithm>
+
+#include "sim/time.h"
+
+namespace aegaeon {
+
+class TokenBucket {
+ public:
+  // `rate` tokens/second, bucket depth `burst`. rate <= 0 means unlimited.
+  TokenBucket(double rate, double burst)
+      : rate_(rate), burst_(std::max(1.0, burst)), tokens_(std::max(1.0, burst)) {}
+
+  bool unlimited() const { return rate_ <= 0.0; }
+
+  // True when a whole token is available at `now`.
+  bool CanConsume(TimePoint now) {
+    if (unlimited()) {
+      return true;
+    }
+    Refill(now);
+    return tokens_ >= 1.0;
+  }
+
+  // Consumes one token; call only after CanConsume(now) returned true.
+  void Consume(TimePoint now) {
+    if (unlimited()) {
+      return;
+    }
+    Refill(now);
+    tokens_ -= 1.0;
+  }
+
+  // Earliest time a whole token will be available (== `now` if one already
+  // is). Used to schedule the next proxy pump precisely.
+  TimePoint NextAvailable(TimePoint now) {
+    if (unlimited()) {
+      return now;
+    }
+    Refill(now);
+    if (tokens_ >= 1.0) {
+      return now;
+    }
+    return now + (1.0 - tokens_) / rate_;
+  }
+
+ private:
+  void Refill(TimePoint now) {
+    if (now > last_) {
+      tokens_ = std::min(burst_, tokens_ + (now - last_) * rate_);
+      last_ = now;
+    }
+  }
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  TimePoint last_ = 0.0;
+};
+
+}  // namespace aegaeon
+
+#endif  // AEGAEON_SERVE_TOKEN_BUCKET_H_

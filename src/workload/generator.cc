@@ -71,6 +71,41 @@ std::vector<ArrivalEvent> GenerateDiurnal(const ModelRegistry& registry, double 
   return events;
 }
 
+std::vector<ArrivalEvent> GenerateBursty(const ModelRegistry& registry, double base_rps,
+                                         double burst_multiplier, Duration mean_calm,
+                                         Duration mean_burst, Duration horizon,
+                                         const Dataset& dataset, uint64_t seed) {
+  std::vector<ArrivalEvent> events;
+  Rng len_rng(seed ^ 0x243f6a8885a308d3ULL);
+  const double burst_rps = base_rps * burst_multiplier;
+  const double peak_rps = std::max(base_rps, burst_rps);
+  for (const DeployedModel& model : registry.models()) {
+    // Piecewise-homogeneous simulation: walk the two-state chain, drawing
+    // exponential dwell times, and thin a peak-rate candidate stream inside
+    // each segment. Using one candidate stream per model keeps the trace a
+    // pure function of (seed, model id).
+    Rng state_rng(seed + model.id * 15485863ULL + 11);
+    PoissonProcess candidates(peak_rps, seed + model.id * 32452843ULL + 5);
+    Rng accept_rng(seed + model.id * 49979687ULL + 13);
+    bool bursting = false;
+    TimePoint segment_end = state_rng.Exponential(1.0 / std::max(mean_calm, 1e-9));
+    for (double t : candidates.ArrivalsUntil(horizon)) {
+      while (t >= segment_end) {
+        bursting = !bursting;
+        double mean = bursting ? mean_burst : mean_calm;
+        segment_end += state_rng.Exponential(1.0 / std::max(mean, 1e-9));
+      }
+      double rate = bursting ? burst_rps : base_rps;
+      if (accept_rng.NextDouble() * peak_rps <= rate) {
+        LengthSample lengths = dataset.Sample(len_rng);
+        events.push_back(ArrivalEvent{t, model.id, lengths.prompt_tokens, lengths.output_tokens});
+      }
+    }
+  }
+  SortByTime(events);
+  return events;
+}
+
 void AddBurst(std::vector<ArrivalEvent>& events, const ModelRegistry& registry, ModelId model,
               double burst_rps, TimePoint start, Duration length, const Dataset& dataset,
               uint64_t seed) {

@@ -37,6 +37,21 @@ std::vector<ArrivalEvent> GenerateDiurnal(const ModelRegistry& registry, double 
                                           Duration horizon, Duration period, double amplitude,
                                           const Dataset& dataset, uint64_t seed);
 
+// Bursty workload: a two-state Markov-modulated Poisson process (MMPP) per
+// model. Each model alternates between a calm state (rate `base_rps`) and a
+// burst state (rate `base_rps * burst_multiplier`); dwell times in each
+// state are exponential with means `mean_calm` / `mean_burst` seconds.
+// Models flip independently (each gets its own seeded chain), so bursts
+// overlap only by chance — the spiky, correlated-within-model but
+// independent-across-model traffic of Figure 1(b) that overload control has
+// to absorb. Time-averaged per-model rate:
+//   base_rps * (mean_calm + burst_multiplier * mean_burst)
+//             / (mean_calm + mean_burst).
+std::vector<ArrivalEvent> GenerateBursty(const ModelRegistry& registry, double base_rps,
+                                         double burst_multiplier, Duration mean_calm,
+                                         Duration mean_burst, Duration horizon,
+                                         const Dataset& dataset, uint64_t seed);
+
 // Adds a burst for `model`: extra Poisson arrivals at `burst_rps` during
 // [start, start + length). The result is re-sorted.
 void AddBurst(std::vector<ArrivalEvent>& events, const ModelRegistry& registry, ModelId model,

@@ -110,6 +110,67 @@ TEST(GeneratorTest, BurstRaisesLocalRate) {
                              }));
 }
 
+TEST(GeneratorTest, BurstyDeterministicForSeed) {
+  ModelRegistry registry = ModelRegistry::MidSizeMarket(6);
+  auto a = GenerateBursty(registry, 0.2, 8.0, 60.0, 15.0, 800.0, Dataset::ShareGpt(), 42);
+  auto b = GenerateBursty(registry, 0.2, 8.0, 60.0, 15.0, 800.0, Dataset::ShareGpt(), 42);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_FALSE(a.empty());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].time, b[i].time);
+    EXPECT_EQ(a[i].model, b[i].model);
+    EXPECT_EQ(a[i].prompt_tokens, b[i].prompt_tokens);
+    EXPECT_EQ(a[i].output_tokens, b[i].output_tokens);
+  }
+  // A different seed produces a different trace.
+  auto c = GenerateBursty(registry, 0.2, 8.0, 60.0, 15.0, 800.0, Dataset::ShareGpt(), 43);
+  bool differs = c.size() != a.size();
+  for (size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = a[i].time != c[i].time || a[i].model != c[i].model;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(GeneratorTest, BurstySortedAndMeanRateMatchesMmpp) {
+  ModelRegistry registry = ModelRegistry::MidSizeMarket(8);
+  const double base = 0.25, mult = 6.0, calm = 80.0, burst = 20.0, horizon = 20000.0;
+  auto events = GenerateBursty(registry, base, mult, calm, burst, horizon,
+                               Dataset::ShareGpt(), 9);
+  EXPECT_TRUE(std::is_sorted(events.begin(), events.end(),
+                             [](const ArrivalEvent& a, const ArrivalEvent& b) {
+                               return a.time < b.time;
+                             }));
+  // Stationary MMPP mean: base * (calm + mult*burst) / (calm + burst) per
+  // model. Over 8 models x 20000 s this is a long-run average; allow 10%.
+  double mean_rate = base * (calm + mult * burst) / (calm + burst);
+  double expected = mean_rate * horizon * static_cast<double>(registry.size());
+  EXPECT_NEAR(static_cast<double>(events.size()), expected, expected * 0.10);
+}
+
+TEST(GeneratorTest, BurstyIsBurstierThanPoisson) {
+  // The index of dispersion (var/mean of per-bucket counts) is ~1 for a
+  // Poisson process and >1 for an MMPP with the same mean rate.
+  ModelRegistry registry = ModelRegistry::MidSizeMarket(1);
+  const double base = 0.5, mult = 10.0, calm = 90.0, burst = 30.0, horizon = 30000.0;
+  auto bursty = GenerateBursty(registry, base, mult, calm, burst, horizon,
+                               Dataset::ShareGpt(), 17);
+  double mean_rate = base * (calm + mult * burst) / (calm + burst);
+  auto poisson = GeneratePoisson(registry, mean_rate, horizon, Dataset::ShareGpt(), 17);
+  auto dispersion = [&](const std::vector<ArrivalEvent>& events) {
+    auto series = RateSeries(events, horizon, 10.0);
+    std::vector<double> counts;
+    counts.reserve(series.size());
+    for (double r : series) counts.push_back(r * 10.0);
+    double mean = std::accumulate(counts.begin(), counts.end(), 0.0) / counts.size();
+    double var = 0.0;
+    for (double c : counts) var += (c - mean) * (c - mean);
+    var /= counts.size();
+    return var / mean;
+  };
+  EXPECT_GT(dispersion(bursty), 3.0 * dispersion(poisson));
+  EXPECT_LT(dispersion(poisson), 2.0);
+}
+
 TEST(GeneratorTest, RateSeriesIntegratesToCount) {
   ModelRegistry registry = ModelRegistry::MidSizeMarket(3);
   auto events = GeneratePoisson(registry, 0.5, 300.0, Dataset::ShareGpt(), 21);

@@ -21,7 +21,8 @@ MAX_REGRESSION_PCT=20
 
 echo "== Configuring Release build in $BUILD_DIR"
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release > /dev/null
-cmake --build "$BUILD_DIR" -j --target bench_sim_perf bench_fig13_stricter_slos > /dev/null
+cmake --build "$BUILD_DIR" -j --target bench_sim_perf bench_fig13_stricter_slos \
+  bench_overload > /dev/null
 
 echo "== Running bench_sim_perf"
 "$BUILD_DIR/bench/bench_sim_perf" "$RESULT"
@@ -29,6 +30,12 @@ echo "== Running bench_sim_perf"
 echo
 echo "== Running bench_fig13_stricter_slos (e2e smoke)"
 "$BUILD_DIR/bench/bench_fig13_stricter_slos"
+
+echo
+echo "== Running bench_overload (serving-proxy goodput gate)"
+# Exits nonzero unless the proxy strictly improves goodput at 2x load for
+# Aegaeon and the ServerlessLLM baseline.
+"$BUILD_DIR/bench/bench_overload"
 
 json_field() {  # json_field <file> <key>  — first "key": <number> match
   sed -n "s/.*\"$2\": *\([0-9.]*\).*/\1/p" "$1" | head -1

@@ -6,6 +6,8 @@
 #include <limits>
 #include <utility>
 
+#include "sanitizer/simsan.h"
+
 namespace aegaeon {
 namespace {
 
@@ -240,6 +242,20 @@ RunMetrics AegaeonCluster::Run(const std::vector<ArrivalEvent>& trace) {
     }
   }
   sim_.Run();
+  // Teardown audit: after quiescence every KV block must be free or parked
+  // on a move list, and shadow VRAM accounting must match each device.
+  for (PrefillUnit& unit : prefill_units_) {
+    simsan::NoteTeardownCheck(&unit.kv_cache->slabs());
+  }
+  for (DecodeUnit& unit : decode_units_) {
+    simsan::NoteTeardownCheck(&unit.kv_cache->slabs());
+  }
+  for (NodeState& state : node_states_) {
+    simsan::NoteTeardownCheck(&state.cpu_kv->slabs());
+    for (int i = 0; i < state.hw->gpu_count(); ++i) {
+      simsan::NoteVramTeardown(&state.hw->gpu(i), state.hw->gpu(i).vram_used());
+    }
+  }
   Duration horizon = sim_.Now();
   RunMetrics metrics = FoldRequests(requests_, horizon);
   metrics.switch_latency_samples = SwitchLatencies();
@@ -532,6 +548,7 @@ void AegaeonCluster::FinishPrefill(int unit_index, Request* request) {
   request->kv.gpu_shape = gpu_shape;
   request->kv.cpu_shape = cpu_shape_of_model_[request->model];
   request->kv.tokens = request->context_tokens();
+  request->kv.owner = request->id;
   request->kv.blocks = std::move(blocks);
   request->kv.location = KvLocation::kGpu;
   request->kv.gpu = unit.gpu->id();
@@ -716,8 +733,10 @@ bool AegaeonCluster::MigrateKv(KvHandle& handle, int to_node, TimePoint now) {
   src.fabric->WaitEvent(handle.last_transfer);
   double bytes = static_cast<double>(src.cpu_kv->BlockBytes(handle.cpu_shape)) *
                  static_cast<double>(handle.blocks.size());
-  src.fabric->Enqueue(now, bytes / config_.internode_bw);
+  StreamSim::Span span = src.fabric->Enqueue(now, bytes / config_.internode_bw);
   EventSim done = src.fabric->Record();
+  simsan::NoteTransfer(&src.cpu_kv->slabs(), handle.blocks, &dst.cpu_kv->slabs(), blocks,
+                       src.fabric.get(), now, span.start, span.end, handle.owner);
   src.cpu_kv->DeferFree(std::move(handle.blocks), done);
   handle.blocks = std::move(blocks);
   handle.node = to_node;
@@ -933,6 +952,11 @@ void AegaeonCluster::RunTurn(DecodeUnit& unit) {
 
   unit.round_did_work = true;
   StreamSim::Span span = unit.gpu->compute_stream().Enqueue(ready, steps * step_time);
+  // Rule ❶: decoding touches every runnable request's resident KV blocks.
+  for (Request* r : runnable) {
+    simsan::NoteComputeLaunch(&unit.kv_cache->slabs(), r->kv.blocks,
+                              &unit.gpu->compute_stream(), span.start, span.end, r->id);
+  }
   if (timeline_ != nullptr) {
     timeline_->Record(config_.prefill_instances + unit.index, "decode",
                       dm.spec.name + " x" + std::to_string(runnable.size()), span.start,

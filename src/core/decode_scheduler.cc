@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
-#include <unordered_map>
+#include <map>
 
 namespace aegaeon {
 
@@ -51,8 +51,9 @@ QuotaResult ComputeQuotas(const std::vector<BatchQuotaInput>& batches,
 }
 
 void GroupBatchesByModel(std::vector<DecodeBatch>& work_list) {
-  std::unordered_map<ModelId, size_t> first_seen;
-  first_seen.reserve(work_list.size());
+  // std::map (not unordered): grouping feeds the round-robin rotation, so
+  // iteration/lookup behavior must be deterministic across platforms.
+  std::map<ModelId, size_t> first_seen;
   for (size_t i = 0; i < work_list.size(); ++i) {
     first_seen.try_emplace(work_list[i].model, i);
   }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sanitizer/simsan.h"
+
 namespace aegaeon {
 
 StreamSim::Span StreamSim::Enqueue(TimePoint now, Duration duration) {
@@ -9,11 +11,13 @@ StreamSim::Span StreamSim::Enqueue(TimePoint now, Duration duration) {
   TimePoint end = start + std::max(duration, 0.0);
   horizon_ = end;
   busy_time_ += end - start;
+  simsan::NoteStreamEnqueue(this, name_, start, end);
   return Span{start, end};
 }
 
 void StreamSim::WaitEvent(const EventSim& event) {
   horizon_ = std::max(horizon_, event.complete_at());
+  simsan::NoteStreamWait(this, name_, event.complete_at());
 }
 
 }  // namespace aegaeon

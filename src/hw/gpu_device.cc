@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "sanitizer/simsan.h"
+
 namespace aegaeon {
 
 GpuDevice::GpuDevice(GpuId id, const GpuSpec& spec)
@@ -12,7 +14,11 @@ GpuDevice::GpuDevice(GpuId id, const GpuSpec& spec)
       compute_("gpu" + std::to_string(id) + "/compute"),
       kv_in_("gpu" + std::to_string(id) + "/kv_in"),
       kv_out_("gpu" + std::to_string(id) + "/kv_out"),
-      prefetch_("gpu" + std::to_string(id) + "/prefetch") {}
+      prefetch_("gpu" + std::to_string(id) + "/prefetch") {
+  simsan::NoteAllocatorName(this, "gpu" + std::to_string(id));
+}
+
+GpuDevice::~GpuDevice() { simsan::NoteGpuDestroyed(this); }
 
 StreamSim::Span GpuDevice::EnqueueCopy(StreamSim& stream, TimePoint now, double bytes,
                                        CopyDir dir, double effective_fraction,
@@ -37,11 +43,13 @@ bool GpuDevice::AllocVram(double bytes) {
   }
   vram_used_ += bytes;
   vram_peak_ = std::max(vram_peak_, vram_used_);
+  simsan::NoteVramAlloc(this, bytes);
   return true;
 }
 
 void GpuDevice::FreeVram(double bytes) {
   assert(bytes >= 0.0);
+  simsan::NoteVramFree(this, bytes);
   vram_used_ = std::max(0.0, vram_used_ - bytes);
 }
 

@@ -19,6 +19,7 @@ using GpuId = uint32_t;
 class GpuDevice {
  public:
   GpuDevice(GpuId id, const GpuSpec& spec);
+  ~GpuDevice();
 
   GpuDevice(const GpuDevice&) = delete;
   GpuDevice& operator=(const GpuDevice&) = delete;

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "sanitizer/simsan.h"
+
 namespace aegaeon {
 
 bool TransferEngine::SwapOut(KvHandle& handle, GpuDevice& gpu, UnifiedKvCache& gpu_cache,
@@ -27,6 +29,11 @@ bool TransferEngine::SwapOut(KvHandle& handle, GpuDevice& gpu, UnifiedKvCache& g
   StreamSim::Span span =
       gpu.EnqueueOptimizedCopy(gpu.kv_out_stream(), now, bytes, CopyDir::kDeviceToHost);
   EventSim done = gpu.kv_out_stream().Record();
+
+  // Shadow-check the copy while the source blocks are still live: it reads
+  // the GPU shard and writes the freshly-allocated CPU blocks.
+  simsan::NoteTransfer(&gpu_cache.slabs(), handle.blocks, &cpu_cache.slabs(), cpu_blocks,
+                       &gpu.kv_out_stream(), now, span.start, span.end, handle.owner);
 
   // The GPU blocks are released once the copy stops reading them.
   gpu_cache.DeferFree(std::move(handle.blocks), done);
@@ -61,6 +68,10 @@ bool TransferEngine::SwapIn(KvHandle& handle, GpuDevice& gpu, UnifiedKvCache& gp
   StreamSim::Span span =
       gpu.EnqueueOptimizedCopy(gpu.kv_in_stream(), now, bytes, CopyDir::kHostToDevice);
   EventSim done = gpu.kv_in_stream().Record();
+
+  // Shadow-check the copy: it reads the CPU blocks and writes the GPU shard.
+  simsan::NoteTransfer(&cpu_cache.slabs(), handle.blocks, &gpu_cache.slabs(), gpu_blocks,
+                       &gpu.kv_in_stream(), now, span.start, span.end, handle.owner);
 
   // CPU blocks stay unavailable until the copy stops reading them (rule ❸).
   cpu_cache.DeferFree(std::move(handle.blocks), done);

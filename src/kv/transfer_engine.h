@@ -43,6 +43,9 @@ struct KvHandle {
   // Physical node whose memory currently holds the blocks (multi-node
   // deployments migrate KV across the fabric when locality misses).
   int node = 0;
+  // Owning request id (for diagnostics / SimSan ownership checks); -1 when
+  // the handle is not bound to a request yet.
+  int64_t owner = -1;
   std::vector<BlockRef> blocks;
   // Completion of the last transfer that wrote/read these blocks (rule ❷).
   EventSim last_transfer;

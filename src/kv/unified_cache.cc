@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "sanitizer/simsan.h"
+
 namespace aegaeon {
 
 UnifiedKvCache::UnifiedKvCache(std::string name, uint64_t capacity_bytes, uint64_t slab_bytes,
@@ -11,6 +13,7 @@ UnifiedKvCache::UnifiedKvCache(std::string name, uint64_t capacity_bytes, uint64
       slabs_(capacity_bytes, slab_bytes),
       tokens_per_block_(tokens_per_block) {
   assert(tokens_per_block_ > 0);
+  simsan::NoteAllocatorName(&slabs_, name_);
 }
 
 ShapeClassId UnifiedKvCache::RegisterShape(const KvShape& shape, int dtype_bytes) {
@@ -51,11 +54,15 @@ void UnifiedKvCache::DeferFree(std::vector<BlockRef> blocks, EventSim transfer) 
     return;
   }
   deferred_frees_ += blocks.size();
+  simsan::NoteDeferFree(&slabs_, blocks, transfer.complete_at());
   move_list_.push_back(MoveEntry{std::move(blocks), transfer});
   move_list_peak_ = std::max(move_list_peak_, move_list_.size());
 }
 
 size_t UnifiedKvCache::Reclaim(TimePoint now) {
+  // Advance the shadow clock first so the frees below are judged against
+  // `now`, not against whatever event last moved the watermark.
+  simsan::NoteReclaimPass(&slabs_, now);
   size_t reclaimed = 0;
   // Entries complete roughly in FIFO order, but transfers on different
   // streams may finish out of order, so scan the whole list.

@@ -15,7 +15,7 @@
 
 #include <cstdint>
 #include <list>
-#include <unordered_map>
+#include <map>
 
 #include "model/registry.h"
 #include "sim/time.h"
@@ -81,7 +81,9 @@ class ModelCache {
   double capacity_;
   double remote_bw_;
   double used_ = 0.0;
-  std::unordered_map<ModelId, Entry> entries_;
+  // Ordered maps: eviction decisions must not depend on hash iteration
+  // order (see tools/determinism_lint.sh).
+  std::map<ModelId, Entry> entries_;
   std::list<ModelId> lru_;  // front = most recent
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
@@ -91,7 +93,7 @@ class ModelCache {
   double ssd_capacity_ = 0.0;
   double ssd_bw_ = 0.0;
   double ssd_used_ = 0.0;
-  std::unordered_map<ModelId, double> ssd_entries_;  // model -> bytes
+  std::map<ModelId, double> ssd_entries_;  // model -> bytes
   std::list<ModelId> ssd_lru_;
   uint64_t ssd_hits_ = 0;
 };

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "sanitizer/simsan.h"
+
 namespace aegaeon {
 
 SlabAllocator::SlabAllocator(uint64_t total_bytes, uint64_t slab_bytes)
@@ -17,16 +19,21 @@ SlabAllocator::SlabAllocator(uint64_t total_bytes, uint64_t slab_bytes)
   }
 }
 
+SlabAllocator::~SlabAllocator() { simsan::NoteAllocatorDestroyed(this); }
+
 bool SlabAllocator::RegisterShape(ShapeClassId shape, uint64_t block_bytes) {
   if (block_bytes == 0 || block_bytes > slab_bytes_) {
     return false;
   }
-  auto [it, inserted] = shape_states_.try_emplace(shape);
-  if (inserted) {
-    it->second.block_bytes = block_bytes;
+  if (shape >= shape_states_.size()) {
+    shape_states_.resize(shape + 1);
+  }
+  ShapeState& state = shape_states_[shape];
+  if (state.block_bytes == 0) {  // unregistered slot
+    state.block_bytes = block_bytes;
     return true;
   }
-  return it->second.block_bytes == block_bytes;
+  return state.block_bytes == block_bytes;
 }
 
 int32_t SlabAllocator::AcquireSlab(ShapeClassId shape) {
@@ -35,7 +42,7 @@ int32_t SlabAllocator::AcquireSlab(ShapeClassId shape) {
   }
   uint32_t slab_id = free_slabs_.back();
   free_slabs_.pop_back();
-  ShapeState& state = shape_states_.at(shape);
+  ShapeState& state = shape_states_[shape];
   Slab& slab = slabs_[slab_id];
   slab.shape = shape;
   slab.block_capacity = static_cast<uint32_t>(slab_bytes_ / state.block_bytes);
@@ -51,9 +58,9 @@ int32_t SlabAllocator::AcquireSlab(ShapeClassId shape) {
 }
 
 std::vector<BlockRef> SlabAllocator::Alloc(ShapeClassId shape, size_t count) {
-  auto it = shape_states_.find(shape);
-  assert(it != shape_states_.end() && "shape must be registered before Alloc");
-  ShapeState& state = it->second;
+  assert(shape < shape_states_.size() && shape_states_[shape].block_bytes != 0 &&
+         "shape must be registered before Alloc");
+  ShapeState& state = shape_states_[shape];
 
   std::vector<BlockRef> blocks;
   blocks.reserve(count);
@@ -74,7 +81,9 @@ std::vector<BlockRef> SlabAllocator::Alloc(ShapeClassId shape, size_t count) {
       slab_id = AcquireSlab(shape);
     }
     if (slab_id < 0) {
-      // Out of memory: roll back (all-or-nothing semantics).
+      // Out of memory: roll back (all-or-nothing semantics). Shadow state
+      // already saw these blocks allocated, so the rollback frees balance.
+      simsan::NoteAlloc(this, blocks.data(), blocks.size());
       Free(blocks);
       return {};
     }
@@ -93,14 +102,16 @@ std::vector<BlockRef> SlabAllocator::Alloc(ShapeClassId shape, size_t count) {
   }
   MaybeUpdatePeaks(state);
   UpdateGlobalPeak();
+  simsan::NoteAlloc(this, blocks.data(), blocks.size());
   return blocks;
 }
 
 void SlabAllocator::FreeOne(BlockRef block) {
+  simsan::NoteFree(this, block);
   Slab& slab = slabs_.at(block.slab);
   assert(slab.shape != Slab::kUnassigned && "freeing into an unassigned slab");
   assert(slab.used_count > 0);
-  ShapeState& state = shape_states_.at(slab.shape);
+  ShapeState& state = shape_states_[slab.shape];
   slab.free_indices.push_back(block.index);
   slab.used_count--;
   state.used_blocks--;
@@ -122,18 +133,23 @@ void SlabAllocator::Free(const std::vector<BlockRef>& blocks) {
 }
 
 uint64_t SlabAllocator::used_bytes(ShapeClassId shape) const {
-  auto it = shape_states_.find(shape);
-  return it == shape_states_.end() ? 0 : it->second.used_blocks * it->second.block_bytes;
+  if (shape >= shape_states_.size()) {
+    return 0;
+  }
+  const ShapeState& state = shape_states_[shape];
+  return state.used_blocks * state.block_bytes;
 }
 
 uint64_t SlabAllocator::held_bytes(ShapeClassId shape) const {
-  auto it = shape_states_.find(shape);
-  return it == shape_states_.end() ? 0 : it->second.held_slabs * slab_bytes_;
+  if (shape >= shape_states_.size() || shape_states_[shape].block_bytes == 0) {
+    return 0;
+  }
+  return shape_states_[shape].held_slabs * slab_bytes_;
 }
 
 uint64_t SlabAllocator::total_used_bytes() const {
   uint64_t total = 0;
-  for (const auto& [shape, state] : shape_states_) {
+  for (const ShapeState& state : shape_states_) {
     total += state.used_blocks * state.block_bytes;
   }
   return total;
@@ -141,7 +157,7 @@ uint64_t SlabAllocator::total_used_bytes() const {
 
 uint64_t SlabAllocator::total_held_bytes() const {
   uint64_t total = 0;
-  for (const auto& [shape, state] : shape_states_) {
+  for (const ShapeState& state : shape_states_) {
     total += state.held_slabs * slab_bytes_;
   }
   return total;
@@ -165,11 +181,10 @@ void SlabAllocator::UpdateGlobalPeak() {
 
 SlabAllocator::ShapeStats SlabAllocator::shape_stats(ShapeClassId shape) const {
   ShapeStats stats;
-  auto it = shape_states_.find(shape);
-  if (it == shape_states_.end()) {
+  if (shape >= shape_states_.size() || shape_states_[shape].block_bytes == 0) {
     return stats;
   }
-  const ShapeState& state = it->second;
+  const ShapeState& state = shape_states_[shape];
   stats.block_bytes = state.block_bytes;
   stats.used_bytes = state.used_blocks * state.block_bytes;
   stats.held_bytes = state.held_slabs * slab_bytes_;
@@ -180,11 +195,11 @@ SlabAllocator::ShapeStats SlabAllocator::shape_stats(ShapeClassId shape) const {
 
 std::vector<ShapeClassId> SlabAllocator::shapes() const {
   std::vector<ShapeClassId> out;
-  out.reserve(shape_states_.size());
-  for (const auto& [shape, state] : shape_states_) {
-    out.push_back(shape);
+  for (ShapeClassId shape = 0; shape < shape_states_.size(); shape++) {
+    if (shape_states_[shape].block_bytes != 0) {
+      out.push_back(shape);
+    }
   }
-  std::sort(out.begin(), out.end());
   return out;
 }
 

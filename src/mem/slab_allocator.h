@@ -12,7 +12,6 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 namespace aegaeon {
@@ -33,6 +32,12 @@ class SlabAllocator {
  public:
   // `total_bytes` is carved into floor(total/slab_bytes) slabs.
   SlabAllocator(uint64_t total_bytes, uint64_t slab_bytes);
+  ~SlabAllocator();
+
+  // Identity-tracked by SimSan (blocks are keyed by the allocator address),
+  // so the allocator must stay put once blocks are handed out.
+  SlabAllocator(const SlabAllocator&) = delete;
+  SlabAllocator& operator=(const SlabAllocator&) = delete;
 
   // Declares a shape class whose blocks are `block_bytes` each. Blocks
   // larger than a slab are rejected (returns false).
@@ -106,7 +111,10 @@ class SlabAllocator {
   uint64_t slab_bytes_;
   std::vector<Slab> slabs_;
   std::vector<uint32_t> free_slabs_;
-  std::unordered_map<ShapeClassId, ShapeState> shape_states_;
+  // Dense, indexed by ShapeClassId; a slot is registered iff block_bytes != 0.
+  // Keeps iteration order deterministic (the determinism lint forbids
+  // unordered containers on scheduling/accounting paths).
+  std::vector<ShapeState> shape_states_;
   uint64_t global_peak_held_ = 0;
   uint64_t global_used_at_peak_ = 0;
 };

@@ -1,0 +1,474 @@
+#include "sanitizer/shadow_state.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace aegaeon {
+namespace simsan {
+
+namespace {
+
+constexpr size_t kRingCapacity = 64;
+
+// How many leaked blocks to enumerate in one teardown report.
+constexpr size_t kLeakDetail = 4;
+
+std::string BlockName(uint64_t packed) {
+  std::ostringstream out;
+  out << "block(slab=" << (packed >> 32) << ",idx=" << static_cast<uint32_t>(packed) << ")";
+  return out.str();
+}
+
+}  // namespace
+
+const char* ToString(RuleClass rule) {
+  switch (rule) {
+    case RuleClass::kComputeNotReady:
+      return "rule-1:compute-not-ready";
+    case RuleClass::kTransferOverlap:
+      return "rule-2:transfer-overlap";
+    case RuleClass::kFreeInFlight:
+      return "rule-3:free-in-flight";
+    case RuleClass::kLeak:
+      return "leak";
+    case RuleClass::kDoubleFree:
+      return "double-free";
+    case RuleClass::kTimeRegression:
+      return "time-regression";
+  }
+  return "unknown";
+}
+
+const char* ToString(ShadowOp op) {
+  switch (op) {
+    case ShadowOp::kAlloc:
+      return "alloc";
+    case ShadowOp::kFree:
+      return "free";
+    case ShadowOp::kDeferFree:
+      return "defer-free";
+    case ShadowOp::kTransferRead:
+      return "transfer-read";
+    case ShadowOp::kTransferWrite:
+      return "transfer-write";
+    case ShadowOp::kCompute:
+      return "compute";
+    case ShadowOp::kStreamEnqueue:
+      return "stream-enqueue";
+    case ShadowOp::kStreamWait:
+      return "stream-wait";
+    case ShadowOp::kDispatch:
+      return "dispatch";
+    case ShadowOp::kTeardown:
+      return "teardown";
+  }
+  return "unknown";
+}
+
+ShadowState::ShadowState() { ring_.resize(kRingCapacity); }
+
+void ShadowState::NameObject(const void* object, std::string name) {
+  names_[object] = std::move(name);
+}
+
+std::string ShadowState::NameOf(const void* object) const {
+  auto it = names_.find(object);
+  if (it != names_.end()) {
+    return it->second;
+  }
+  std::ostringstream out;
+  out << "<anon object @" << object << ">";
+  return out.str();
+}
+
+void ShadowState::ForgetAllocator(const void* alloc) {
+  allocators_.erase(alloc);
+  names_.erase(alloc);
+}
+
+void ShadowState::ForgetQueue(const void* queue) { queue_last_.erase(queue); }
+
+void ShadowState::ForgetVram(const void* gpu) {
+  vram_.erase(gpu);
+  names_.erase(gpu);
+}
+
+void ShadowState::AdvanceTime(TimePoint now) { now_ = std::max(now_, now); }
+
+void ShadowState::RecordTrace(const TraceRecord& record) {
+  ring_[ring_next_] = record;
+  ring_next_ = (ring_next_ + 1) % ring_.size();
+  if (ring_next_ == 0) {
+    ring_wrapped_ = true;
+  }
+}
+
+std::vector<TraceRecord> ShadowState::RecentTrace() const {
+  std::vector<TraceRecord> out;
+  if (ring_wrapped_) {
+    out.insert(out.end(), ring_.begin() + static_cast<ptrdiff_t>(ring_next_), ring_.end());
+  }
+  out.insert(out.end(), ring_.begin(), ring_.begin() + static_cast<ptrdiff_t>(ring_next_));
+  return out;
+}
+
+void ShadowState::Report(RuleClass rule, std::string message, const TraceRecord& current,
+                         const TraceRecord& previous) {
+  Violation v;
+  v.rule = rule;
+  v.message = std::move(message);
+  v.when = now_;
+  v.current = current;
+  v.previous = previous;
+  v.recent = RecentTrace();
+  violations_.push_back(std::move(v));
+  if (on_violation_) {
+    on_violation_(violations_.back());
+  }
+}
+
+void ShadowState::OnAlloc(const void* alloc, const BlockRef* blocks, size_t count) {
+  checks_++;
+  AllocatorShadow& shadow = allocators_[alloc];
+  TraceRecord record;
+  record.op = ShadowOp::kAlloc;
+  record.time = now_;
+  record.object = alloc;
+  record.block = count > 0 ? blocks[0].Packed() : 0;
+  record.block_count = static_cast<uint32_t>(count);
+  RecordTrace(record);
+  for (size_t i = 0; i < count; ++i) {
+    BlockShadow& b = shadow.blocks[blocks[i].Packed()];
+    TraceRecord one = record;
+    one.block = blocks[i].Packed();
+    one.block_count = 1;
+    if (b.allocated) {
+      Report(RuleClass::kDoubleFree,
+             NameOf(alloc) + ": " + BlockName(one.block) +
+                 " handed out while still allocated (allocator state corrupted)",
+             one, b.last_access);
+    } else if (b.busy_until > now_) {
+      Report(RuleClass::kFreeInFlight,
+             NameOf(alloc) + ": " + BlockName(one.block) + " re-allocated at t=" +
+                 std::to_string(now_) + " while an in-flight copy touches it until t=" +
+                 std::to_string(b.busy_until),
+             one, b.last_access);
+    }
+    b.allocated = true;
+    b.defer_pending = false;
+    b.busy_until = 0.0;
+    b.defer_until = 0.0;
+    b.owner = -1;
+    b.last_access = one;
+  }
+}
+
+void ShadowState::OnFree(const void* alloc, const BlockRef& block) {
+  checks_++;
+  AllocatorShadow& shadow = allocators_[alloc];
+  TraceRecord record;
+  record.op = ShadowOp::kFree;
+  record.time = now_;
+  record.object = alloc;
+  record.block = block.Packed();
+  record.block_count = 1;
+  RecordTrace(record);
+  auto it = shadow.blocks.find(block.Packed());
+  if (it == shadow.blocks.end() || !it->second.allocated) {
+    Report(RuleClass::kDoubleFree,
+           NameOf(alloc) + ": double free of " + BlockName(block.Packed()), record,
+           it == shadow.blocks.end() ? TraceRecord{} : it->second.last_access);
+    return;
+  }
+  BlockShadow& b = it->second;
+  if (b.defer_pending && b.defer_until > now_) {
+    Report(RuleClass::kFreeInFlight,
+           NameOf(alloc) + ": " + BlockName(block.Packed()) +
+               " reclaimed at t=" + std::to_string(now_) +
+               " before its move-list transfer completes at t=" + std::to_string(b.defer_until),
+           record, b.last_access);
+  } else if (!b.defer_pending && b.busy_until > now_) {
+    Report(RuleClass::kFreeInFlight,
+           NameOf(alloc) + ": " + BlockName(block.Packed()) + " freed at t=" +
+               std::to_string(now_) + " while an in-flight copy touches it until t=" +
+               std::to_string(b.busy_until) + " (release bypassed the move list)",
+           record, b.last_access);
+  }
+  b.allocated = false;
+  b.defer_pending = false;
+  b.owner = -1;
+  b.last_access = record;
+}
+
+void ShadowState::OnDeferFree(const void* alloc, const std::vector<BlockRef>& blocks,
+                              TimePoint transfer_done) {
+  checks_++;
+  AllocatorShadow& shadow = allocators_[alloc];
+  TraceRecord record;
+  record.op = ShadowOp::kDeferFree;
+  record.time = now_;
+  record.end = transfer_done;
+  record.object = alloc;
+  record.block = blocks.empty() ? 0 : blocks[0].Packed();
+  record.block_count = static_cast<uint32_t>(blocks.size());
+  RecordTrace(record);
+  for (const BlockRef& block : blocks) {
+    BlockShadow& b = shadow.blocks[block.Packed()];
+    TraceRecord one = record;
+    one.block = block.Packed();
+    one.block_count = 1;
+    if (!b.allocated) {
+      Report(RuleClass::kDoubleFree,
+             NameOf(alloc) + ": defer-free of unallocated " + BlockName(one.block), one,
+             b.last_access);
+    } else if (b.defer_pending) {
+      Report(RuleClass::kDoubleFree,
+             NameOf(alloc) + ": " + BlockName(one.block) + " defer-freed twice", one,
+             b.last_access);
+    }
+    b.defer_pending = true;
+    b.defer_until = transfer_done;
+    b.busy_until = std::max(b.busy_until, transfer_done);
+    b.last_access = one;
+  }
+}
+
+void ShadowState::TouchBlock(AllocatorShadow& shadow, const void* alloc, const BlockRef& block,
+                             const TraceRecord& record, bool is_compute) {
+  TraceRecord one = record;
+  one.block = block.Packed();
+  one.block_count = 1;
+  auto it = shadow.blocks.find(block.Packed());
+  if (it == shadow.blocks.end() || !it->second.allocated) {
+    Report(is_compute ? RuleClass::kComputeNotReady : RuleClass::kFreeInFlight,
+           NameOf(alloc) + ": " + std::string(ToString(record.op)) + " touches " +
+               BlockName(one.block) + ", which is not allocated in this cache" +
+               (is_compute ? " (KV not device-resident)" : " (use after free)"),
+           one, it == shadow.blocks.end() ? TraceRecord{} : it->second.last_access);
+    return;
+  }
+  BlockShadow& b = it->second;
+  if (b.defer_pending) {
+    Report(is_compute ? RuleClass::kComputeNotReady : RuleClass::kFreeInFlight,
+           NameOf(alloc) + ": " + std::string(ToString(record.op)) + " touches " +
+               BlockName(one.block) + " after its owner released it to the move list",
+           one, b.last_access);
+  } else if (b.busy_until > record.start) {
+    if (is_compute) {
+      Report(RuleClass::kComputeNotReady,
+             NameOf(alloc) + ": compute over " + BlockName(one.block) + " launched at t=" +
+                 std::to_string(record.start) + " before its transfer completes at t=" +
+                 std::to_string(b.busy_until) + " (swap-in event not queried)",
+             one, b.last_access);
+    } else {
+      Report(RuleClass::kTransferOverlap,
+             NameOf(alloc) + ": transfer over " + BlockName(one.block) + " starting at t=" +
+                 std::to_string(record.start) + " overlaps a prior access ending at t=" +
+                 std::to_string(b.busy_until) + " (missing cudaStreamWaitEvent)",
+             one, b.last_access);
+    }
+  } else if (is_compute && b.owner >= 0 && record.owner >= 0 && b.owner != record.owner) {
+    Report(RuleClass::kComputeNotReady,
+           NameOf(alloc) + ": compute for request " + std::to_string(record.owner) +
+               " touches " + BlockName(one.block) + " owned by request " +
+               std::to_string(b.owner),
+           one, b.last_access);
+  }
+  b.busy_until = std::max(b.busy_until, record.end);
+  if (record.owner >= 0 && (record.op == ShadowOp::kTransferWrite || is_compute)) {
+    b.owner = record.owner;
+  }
+  b.last_access = one;
+}
+
+void ShadowState::OnTransfer(const void* src_alloc, const std::vector<BlockRef>& src,
+                             const void* dst_alloc, const std::vector<BlockRef>& dst,
+                             const void* stream, TimePoint now, TimePoint start, TimePoint end,
+                             int64_t owner) {
+  checks_++;
+  AdvanceTime(now);
+  TraceRecord record;
+  record.time = now_;
+  record.start = start;
+  record.end = end;
+  record.stream = stream;
+  record.owner = owner;
+
+  record.op = ShadowOp::kTransferRead;
+  record.object = src_alloc;
+  record.block = src.empty() ? 0 : src[0].Packed();
+  record.block_count = static_cast<uint32_t>(src.size());
+  RecordTrace(record);
+  AllocatorShadow& src_shadow = allocators_[src_alloc];
+  for (const BlockRef& block : src) {
+    TouchBlock(src_shadow, src_alloc, block, record, /*is_compute=*/false);
+  }
+
+  record.op = ShadowOp::kTransferWrite;
+  record.object = dst_alloc;
+  record.block = dst.empty() ? 0 : dst[0].Packed();
+  record.block_count = static_cast<uint32_t>(dst.size());
+  RecordTrace(record);
+  AllocatorShadow& dst_shadow = allocators_[dst_alloc];
+  for (const BlockRef& block : dst) {
+    TouchBlock(dst_shadow, dst_alloc, block, record, /*is_compute=*/false);
+  }
+}
+
+void ShadowState::OnCompute(const void* alloc, const std::vector<BlockRef>& blocks,
+                            const void* stream, TimePoint start, TimePoint end, int64_t owner) {
+  checks_++;
+  TraceRecord record;
+  record.op = ShadowOp::kCompute;
+  record.time = now_;
+  record.start = start;
+  record.end = end;
+  record.object = alloc;
+  record.stream = stream;
+  record.block = blocks.empty() ? 0 : blocks[0].Packed();
+  record.block_count = static_cast<uint32_t>(blocks.size());
+  record.owner = owner;
+  RecordTrace(record);
+  AllocatorShadow& shadow = allocators_[alloc];
+  for (const BlockRef& block : blocks) {
+    TouchBlock(shadow, alloc, block, record, /*is_compute=*/true);
+  }
+}
+
+void ShadowState::OnStreamOp(ShadowOp op, const void* stream, TimePoint start, TimePoint end) {
+  TraceRecord record;
+  record.op = op;
+  record.time = now_;
+  record.start = start;
+  record.end = end;
+  record.stream = stream;
+  RecordTrace(record);
+}
+
+void ShadowState::OnVramAlloc(const void* gpu, double bytes) {
+  checks_++;
+  vram_[gpu] += bytes;
+}
+
+void ShadowState::OnVramFree(const void* gpu, double bytes) {
+  checks_++;
+  double& outstanding = vram_[gpu];
+  if (bytes > outstanding + 1e-6) {
+    TraceRecord record;
+    record.op = ShadowOp::kFree;
+    record.time = now_;
+    record.object = gpu;
+    Report(RuleClass::kDoubleFree,
+           NameOf(gpu) + ": VRAM over-free of " + std::to_string(bytes) +
+               " bytes with only " + std::to_string(outstanding) + " outstanding",
+           record, TraceRecord{});
+  }
+  outstanding = std::max(0.0, outstanding - bytes);
+}
+
+double ShadowState::VramOutstanding(const void* gpu) const {
+  auto it = vram_.find(gpu);
+  return it == vram_.end() ? 0.0 : it->second;
+}
+
+void ShadowState::OnDispatch(const void* queue, TimePoint when) {
+  checks_++;
+  auto [it, inserted] = queue_last_.try_emplace(queue, when);
+  if (!inserted) {
+    if (when < it->second) {
+      TraceRecord record;
+      record.op = ShadowOp::kDispatch;
+      record.time = now_;
+      record.start = when;
+      record.object = queue;
+      TraceRecord previous;
+      previous.op = ShadowOp::kDispatch;
+      previous.start = it->second;
+      previous.object = queue;
+      Report(RuleClass::kTimeRegression,
+             NameOf(queue) + ": event dispatched at t=" + std::to_string(when) +
+                 " after an event at t=" + std::to_string(it->second) +
+                 " (simulated time ran backwards)",
+             record, previous);
+    }
+    it->second = std::max(it->second, when);
+  }
+  AdvanceTime(when);
+}
+
+size_t ShadowState::CheckTeardown(const void* alloc) {
+  checks_++;
+  auto it = allocators_.find(alloc);
+  if (it == allocators_.end()) {
+    return 0;
+  }
+  size_t leaked = 0;
+  std::string detail;
+  TraceRecord last;
+  for (const auto& [packed, shadow] : it->second.blocks) {
+    if (shadow.allocated && !shadow.defer_pending) {
+      if (leaked < kLeakDetail) {
+        detail += (leaked > 0 ? ", " : "") + BlockName(packed) +
+                  (shadow.owner >= 0 ? " (request " + std::to_string(shadow.owner) + ")" : "");
+        last = shadow.last_access;
+      }
+      leaked++;
+    }
+  }
+  if (leaked > 0) {
+    TraceRecord record;
+    record.op = ShadowOp::kTeardown;
+    record.time = now_;
+    record.object = alloc;
+    record.block_count = static_cast<uint32_t>(leaked);
+    Report(RuleClass::kLeak,
+           NameOf(alloc) + ": " + std::to_string(leaked) +
+               " block(s) still allocated at teardown, e.g. " + detail,
+           record, last);
+  }
+  return leaked;
+}
+
+void ShadowState::CheckVramTeardown(const void* gpu, double device_reported, double tolerance) {
+  checks_++;
+  double shadow = VramOutstanding(gpu);
+  if (shadow > device_reported + tolerance || device_reported > shadow + tolerance) {
+    TraceRecord record;
+    record.op = ShadowOp::kTeardown;
+    record.time = now_;
+    record.object = gpu;
+    Report(RuleClass::kLeak,
+           NameOf(gpu) + ": VRAM shadow (" + std::to_string(shadow) +
+               " bytes) disagrees with device accounting (" + std::to_string(device_reported) +
+               " bytes) at teardown",
+           record, TraceRecord{});
+  }
+}
+
+size_t ShadowState::TrackedBlocks() const {
+  size_t total = 0;
+  for (const auto& [alloc, shadow] : allocators_) {
+    for (const auto& [packed, block] : shadow.blocks) {
+      if (block.allocated) {
+        total++;
+      }
+    }
+  }
+  return total;
+}
+
+void ShadowState::Reset() {
+  allocators_.clear();
+  names_.clear();
+  queue_last_.clear();
+  vram_.clear();
+  std::fill(ring_.begin(), ring_.end(), TraceRecord{});
+  ring_next_ = 0;
+  ring_wrapped_ = false;
+  violations_.clear();
+  now_ = 0.0;
+  checks_ = 0;
+}
+
+}  // namespace simsan
+}  // namespace aegaeon

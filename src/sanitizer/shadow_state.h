@@ -1,0 +1,216 @@
+// SimSan shadow state: the bookkeeping side of the simulated-hardware
+// sanitizer (see simsan.h for the instrumentation surface).
+//
+// For every KV block handed out by a slab allocator the shadow tracks who
+// touched it last (transfer, compute, alloc), until when an asynchronous
+// copy keeps it busy, and whether its logical owner already released it to
+// a move list. Checks against that state detect violations of the §5.3
+// data-dependency rules (Figure 10):
+//
+//   ❶ kComputeNotReady   — compute launched on blocks that are not resident
+//                          in the launching instance's cache, are owned by a
+//                          different request, or whose swap-in has not
+//                          completed by the launch time.
+//   ❷ kTransferOverlap   — a transfer whose span overlaps an unsynchronized
+//                          earlier transfer/compute on the same blocks (a
+//                          missing cudaStreamWaitEvent).
+//   ❸ kFreeInFlight      — immediate free, early reclaim, or re-allocation
+//                          of blocks an in-flight copy still touches (a
+//                          bypassed move list).
+//
+// plus the allocator-integrity classes:
+//
+//   kLeak            — blocks still allocated (and not move-listed) when a
+//                      teardown check runs; VRAM shadow drift.
+//   kDoubleFree      — free of an unallocated block, double defer-free, or
+//                      VRAM over-free.
+//   kTimeRegression  — an event queue dispatched timestamps out of order.
+//
+// The shadow also keeps a bounded ring of recent instrumented operations so
+// a violation report can show the offending pair in context.
+//
+// Thread model: one ShadowState instance is confined to one thread (SimSan
+// keeps a thread_local instance). ParallelSweep tasks construct their whole
+// simulation inside the task body, so every object is registered, checked,
+// and destroyed on the same worker thread.
+
+#ifndef AEGAEON_SANITIZER_SHADOW_STATE_H_
+#define AEGAEON_SANITIZER_SHADOW_STATE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mem/slab_allocator.h"
+#include "sim/time.h"
+
+namespace aegaeon {
+namespace simsan {
+
+enum class RuleClass {
+  kComputeNotReady = 0,  // rule ❶
+  kTransferOverlap = 1,  // rule ❷
+  kFreeInFlight = 2,     // rule ❸
+  kLeak = 3,
+  kDoubleFree = 4,
+  kTimeRegression = 5,
+};
+inline constexpr int kRuleClassCount = 6;
+
+const char* ToString(RuleClass rule);
+
+// The instrumented operation kinds recorded in the trace ring.
+enum class ShadowOp : uint8_t {
+  kAlloc,
+  kFree,
+  kDeferFree,
+  kTransferRead,
+  kTransferWrite,
+  kCompute,
+  kStreamEnqueue,
+  kStreamWait,
+  kDispatch,
+  kTeardown,
+};
+
+const char* ToString(ShadowOp op);
+
+// One instrumented operation. POD-ish on purpose: records are copied into
+// the ring on every hook, and object names are resolved only when a
+// violation is formatted.
+struct TraceRecord {
+  ShadowOp op = ShadowOp::kAlloc;
+  TimePoint time = 0.0;   // sanitizer time watermark when the hook ran
+  TimePoint start = 0.0;  // execution span, for transfers/compute
+  TimePoint end = 0.0;
+  const void* object = nullptr;  // allocator identity (block ops)
+  const void* stream = nullptr;  // stream identity (transfers/compute)
+  uint64_t block = 0;            // BlockRef::Packed() of the first block
+  uint32_t block_count = 0;
+  int64_t owner = -1;  // request id when the call site knows it
+};
+
+struct Violation {
+  RuleClass rule = RuleClass::kLeak;
+  std::string message;
+  TimePoint when = 0.0;
+  TraceRecord current;   // the offending access
+  TraceRecord previous;  // the conflicting prior access (when applicable)
+  std::vector<TraceRecord> recent;  // trace ring snapshot, oldest first
+};
+
+class ShadowState {
+ public:
+  ShadowState();
+
+  ShadowState(const ShadowState&) = delete;
+  ShadowState& operator=(const ShadowState&) = delete;
+
+  // Invoked on every violation right after it is appended; SimSan installs
+  // the fatal-abort behavior here.
+  void set_on_violation(std::function<void(const Violation&)> cb) {
+    on_violation_ = std::move(cb);
+  }
+
+  // --- identity ---------------------------------------------------------
+  void NameObject(const void* object, std::string name);
+  // "<anon object @0x...>" for unnamed objects.
+  std::string NameOf(const void* object) const;
+  // Drops all shadow state for a destroyed allocator / event queue so a
+  // later object reusing the address starts clean.
+  void ForgetAllocator(const void* alloc);
+  void ForgetQueue(const void* queue);
+  void ForgetVram(const void* gpu);
+
+  // --- time -------------------------------------------------------------
+  // The watermark only moves forward; hooks with an explicit `now` advance
+  // it so free-side checks compare against the caller's simulated time.
+  void AdvanceTime(TimePoint now);
+  TimePoint now() const { return now_; }
+
+  // --- block lifecycle hooks -------------------------------------------
+  void OnAlloc(const void* alloc, const BlockRef* blocks, size_t count);
+  void OnFree(const void* alloc, const BlockRef& block);
+  void OnDeferFree(const void* alloc, const std::vector<BlockRef>& blocks,
+                   TimePoint transfer_done);
+
+  // --- data-path hooks --------------------------------------------------
+  // A host<->device (or fabric) copy reading `src` and writing `dst` over
+  // [start, end). `now` is the submission time.
+  void OnTransfer(const void* src_alloc, const std::vector<BlockRef>& src,
+                  const void* dst_alloc, const std::vector<BlockRef>& dst, const void* stream,
+                  TimePoint now, TimePoint start, TimePoint end, int64_t owner);
+  // A compute launch (decode/prefill step) over `blocks`, which must be
+  // resident in `alloc`, synced by `start`, and owned by `owner`.
+  void OnCompute(const void* alloc, const std::vector<BlockRef>& blocks, const void* stream,
+                 TimePoint start, TimePoint end, int64_t owner);
+  // Stream-level trace records (no checks; context for reports).
+  void OnStreamOp(ShadowOp op, const void* stream, TimePoint start, TimePoint end);
+
+  // --- VRAM accounting --------------------------------------------------
+  void OnVramAlloc(const void* gpu, double bytes);
+  void OnVramFree(const void* gpu, double bytes);
+  double VramOutstanding(const void* gpu) const;
+
+  // --- event queue ------------------------------------------------------
+  // Dispatch-order monotonicity, per queue.
+  void OnDispatch(const void* queue, TimePoint when);
+
+  // --- teardown ---------------------------------------------------------
+  // Reports every block of `alloc` that is still allocated and not parked
+  // on a move list as a leak. Returns the number of leaked blocks.
+  size_t CheckTeardown(const void* alloc);
+  // Cross-checks the VRAM shadow of `gpu` against the device's own
+  // accounting; drift beyond `tolerance` bytes is reported as a leak.
+  void CheckVramTeardown(const void* gpu, double device_reported, double tolerance = 1.0);
+
+  // --- results ----------------------------------------------------------
+  const std::vector<Violation>& violations() const { return violations_; }
+  uint64_t checks() const { return checks_; }
+  size_t TrackedBlocks() const;
+  std::vector<TraceRecord> RecentTrace() const;
+  void Reset();
+
+ private:
+  struct BlockShadow {
+    bool allocated = false;
+    bool defer_pending = false;   // released to a move list
+    TimePoint busy_until = 0.0;   // last transfer/compute touching it ends
+    TimePoint defer_until = 0.0;  // move-list event completion
+    int64_t owner = -1;           // request whose KV the block holds
+    TraceRecord last_access;
+  };
+
+  struct AllocatorShadow {
+    std::map<uint64_t, BlockShadow> blocks;
+  };
+
+  void Report(RuleClass rule, std::string message, const TraceRecord& current,
+              const TraceRecord& previous);
+  void RecordTrace(const TraceRecord& record);
+  // Per-block half of OnTransfer/OnCompute.
+  void TouchBlock(AllocatorShadow& shadow, const void* alloc, const BlockRef& block,
+                  const TraceRecord& record, bool is_compute);
+
+  std::map<const void*, AllocatorShadow> allocators_;
+  std::map<const void*, std::string> names_;
+  std::map<const void*, TimePoint> queue_last_;
+  std::map<const void*, double> vram_;
+
+  std::vector<TraceRecord> ring_;
+  size_t ring_next_ = 0;
+  bool ring_wrapped_ = false;
+
+  std::vector<Violation> violations_;
+  std::function<void(const Violation&)> on_violation_;
+  TimePoint now_ = 0.0;
+  uint64_t checks_ = 0;
+};
+
+}  // namespace simsan
+}  // namespace aegaeon
+
+#endif  // AEGAEON_SANITIZER_SHADOW_STATE_H_

@@ -1,0 +1,161 @@
+#include "sanitizer/simsan.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace aegaeon {
+namespace simsan {
+
+size_t SimSanReport::Count(RuleClass rule) const {
+  size_t count = 0;
+  for (const Violation& v : violations) {
+    if (v.rule == rule) {
+      count++;
+    }
+  }
+  return count;
+}
+
+namespace {
+
+void AppendRecord(std::ostringstream& out, const TraceRecord& record, const ShadowState& state) {
+  out << "[t=" << record.time << "] " << ToString(record.op);
+  if (record.object != nullptr) {
+    out << " on " << state.NameOf(record.object);
+  }
+  if (record.stream != nullptr) {
+    out << " via " << state.NameOf(record.stream);
+  }
+  if (record.block_count > 0) {
+    out << " blocks=" << record.block_count << " first=(slab=" << (record.block >> 32)
+        << ",idx=" << static_cast<uint32_t>(record.block) << ")";
+  }
+  if (record.owner >= 0) {
+    out << " request=" << record.owner;
+  }
+  if (record.end > 0.0 || record.start > 0.0) {
+    out << " span=[" << record.start << "," << record.end << ")";
+  }
+}
+
+}  // namespace
+
+std::string FormatViolation(const Violation& violation, const ShadowState& state) {
+  std::ostringstream out;
+  out << "SimSan: " << ToString(violation.rule) << " at t=" << violation.when << "\n  "
+      << violation.message << "\n  offending access: ";
+  AppendRecord(out, violation.current, state);
+  out << "\n  conflicting access: ";
+  AppendRecord(out, violation.previous, state);
+  out << "\n  recent event trace (oldest first):";
+  for (const TraceRecord& record : violation.recent) {
+    if (record.op == ShadowOp::kAlloc && record.object == nullptr) {
+      continue;  // unused ring entry
+    }
+    out << "\n    ";
+    AppendRecord(out, record, state);
+  }
+  return out.str();
+}
+
+SimSan::SimSan() {
+  state_.set_on_violation([this](const Violation& violation) {
+    if (fatal_) {
+      std::fprintf(stderr, "%s\n", FormatViolation(violation, state_).c_str());
+      std::fflush(stderr);
+      std::abort();
+    }
+  });
+}
+
+SimSanReport SimSan::report() const {
+  SimSanReport report;
+  report.violations = state_.violations();
+  report.checks = state_.checks();
+  report.live_blocks = state_.TrackedBlocks();
+  return report;
+}
+
+#if AEGAEON_SIMSAN_ENABLED
+
+SimSan& ThreadInstance() {
+  thread_local SimSan instance;
+  return instance;
+}
+
+void NoteAllocatorName(const void* alloc, const std::string& name) {
+  ThreadInstance().state().NameObject(alloc, name);
+}
+
+void NoteAllocatorDestroyed(const void* alloc) {
+  ThreadInstance().state().ForgetAllocator(alloc);
+}
+
+void NoteAlloc(const void* alloc, const BlockRef* blocks, size_t count) {
+  ThreadInstance().state().OnAlloc(alloc, blocks, count);
+}
+
+void NoteFree(const void* alloc, const BlockRef& block) {
+  ThreadInstance().state().OnFree(alloc, block);
+}
+
+void NoteDeferFree(const void* alloc, const std::vector<BlockRef>& blocks,
+                   TimePoint transfer_done) {
+  ThreadInstance().state().OnDeferFree(alloc, blocks, transfer_done);
+}
+
+void NoteReclaimPass(const void* alloc, TimePoint now) {
+  (void)alloc;
+  ThreadInstance().state().AdvanceTime(now);
+}
+
+void NoteTransfer(const void* src_alloc, const std::vector<BlockRef>& src, const void* dst_alloc,
+                  const std::vector<BlockRef>& dst, const void* stream, TimePoint now,
+                  TimePoint start, TimePoint end, int64_t owner) {
+  ThreadInstance().state().OnTransfer(src_alloc, src, dst_alloc, dst, stream, now, start, end,
+                                      owner);
+}
+
+void NoteComputeLaunch(const void* alloc, const std::vector<BlockRef>& blocks, const void* stream,
+                       TimePoint start, TimePoint end, int64_t owner) {
+  ThreadInstance().state().OnCompute(alloc, blocks, stream, start, end, owner);
+}
+
+void NoteTeardownCheck(const void* alloc) { ThreadInstance().state().CheckTeardown(alloc); }
+
+void NoteStreamEnqueue(const void* stream, const std::string& name, TimePoint start,
+                       TimePoint end) {
+  ShadowState& state = ThreadInstance().state();
+  state.NameObject(stream, name);
+  state.OnStreamOp(ShadowOp::kStreamEnqueue, stream, start, end);
+}
+
+void NoteStreamWait(const void* stream, const std::string& name, TimePoint until) {
+  ShadowState& state = ThreadInstance().state();
+  state.NameObject(stream, name);
+  state.OnStreamOp(ShadowOp::kStreamWait, stream, until, until);
+}
+
+void NoteVramAlloc(const void* gpu, double bytes) {
+  ThreadInstance().state().OnVramAlloc(gpu, bytes);
+}
+
+void NoteVramFree(const void* gpu, double bytes) { ThreadInstance().state().OnVramFree(gpu, bytes); }
+
+void NoteVramTeardown(const void* gpu, double device_reported) {
+  ThreadInstance().state().CheckVramTeardown(gpu, device_reported);
+}
+
+void NoteGpuDestroyed(const void* gpu) { ThreadInstance().state().ForgetVram(gpu); }
+
+void NoteDispatch(const void* queue, TimePoint when) {
+  ThreadInstance().state().OnDispatch(queue, when);
+}
+
+void NoteQueueDestroyed(const void* queue) { ThreadInstance().state().ForgetQueue(queue); }
+
+#endif  // AEGAEON_SIMSAN_ENABLED
+
+}  // namespace simsan
+}  // namespace aegaeon

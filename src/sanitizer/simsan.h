@@ -1,0 +1,146 @@
+// SimSan: a race/invariant sanitizer for the simulated GPU substrate.
+//
+// SimSan threads instrumentation hooks through the simulated hardware
+// (hw::StreamSim / hw::GpuDevice), the KV machinery (kv::TransferEngine /
+// kv::UnifiedKvCache), the mem/ allocators, and the event queue, and checks
+// every operation against per-block / per-VRAM shadow state (see
+// shadow_state.h for the rule ❶/❷/❸ + leak/double-free/time-regression
+// check catalogue).
+//
+// Build gating: configure with -DAEGAEON_SIMSAN=ON to compile the hooks in
+// (the CMake option defines the AEGAEON_SIMSAN macro for every target).
+// Without it every simsan::Note* hook below is an empty inline function, so
+// instrumented hot paths compile to exactly the un-instrumented code. The
+// SimSan / ShadowState classes themselves always compile, so tests can
+// drive the checker directly in any build.
+//
+// Runtime model: one SimSan instance per thread (ThreadInstance), matching
+// the ParallelSweep contract that a simulation is confined to the task that
+// built it. Violations are fatal by default — the report is printed and the
+// process aborts, which turns every bench and test run into a checked run —
+// and tests that deliberately inject violations flip to collecting mode
+// with set_fatal(false) and query the SimSanReport instead.
+
+#ifndef AEGAEON_SANITIZER_SIMSAN_H_
+#define AEGAEON_SANITIZER_SIMSAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/slab_allocator.h"
+#include "sanitizer/shadow_state.h"
+#include "sim/time.h"
+
+#if defined(AEGAEON_SIMSAN) && AEGAEON_SIMSAN
+#define AEGAEON_SIMSAN_ENABLED 1
+#else
+#define AEGAEON_SIMSAN_ENABLED 0
+#endif
+
+namespace aegaeon {
+namespace simsan {
+
+// Snapshot of a SimSan run, queryable from tests.
+struct SimSanReport {
+  std::vector<Violation> violations;
+  uint64_t checks = 0;      // instrumented operations verified
+  size_t live_blocks = 0;   // blocks currently allocated in shadow state
+
+  size_t Count(RuleClass rule) const;
+  bool clean() const { return violations.empty(); }
+};
+
+std::string FormatViolation(const Violation& violation, const ShadowState& state);
+
+// The checker facade: shadow state plus violation disposition (fatal abort
+// vs. collect-and-query).
+class SimSan {
+ public:
+  SimSan();
+
+  SimSan(const SimSan&) = delete;
+  SimSan& operator=(const SimSan&) = delete;
+
+  ShadowState& state() { return state_; }
+  const ShadowState& state() const { return state_; }
+
+  // Fatal mode (the default): print the formatted violation and abort.
+  bool fatal() const { return fatal_; }
+  void set_fatal(bool fatal) { fatal_ = fatal; }
+
+  SimSanReport report() const;
+  void Reset() { state_.Reset(); }
+
+ private:
+  ShadowState state_;
+  bool fatal_ = true;
+};
+
+#if AEGAEON_SIMSAN_ENABLED
+
+// The per-thread checker every hook below reports into.
+SimSan& ThreadInstance();
+
+// --- mem/ allocator hooks -----------------------------------------------
+void NoteAllocatorName(const void* alloc, const std::string& name);
+void NoteAllocatorDestroyed(const void* alloc);
+void NoteAlloc(const void* alloc, const BlockRef* blocks, size_t count);
+void NoteFree(const void* alloc, const BlockRef& block);
+
+// --- kv/ hooks ------------------------------------------------------------
+void NoteDeferFree(const void* alloc, const std::vector<BlockRef>& blocks,
+                   TimePoint transfer_done);
+void NoteReclaimPass(const void* alloc, TimePoint now);
+void NoteTransfer(const void* src_alloc, const std::vector<BlockRef>& src,
+                  const void* dst_alloc, const std::vector<BlockRef>& dst, const void* stream,
+                  TimePoint now, TimePoint start, TimePoint end, int64_t owner);
+
+// --- core/ scheduler hooks ------------------------------------------------
+void NoteComputeLaunch(const void* alloc, const std::vector<BlockRef>& blocks,
+                       const void* stream, TimePoint start, TimePoint end, int64_t owner);
+void NoteTeardownCheck(const void* alloc);
+
+// --- hw/ hooks ------------------------------------------------------------
+void NoteStreamEnqueue(const void* stream, const std::string& name, TimePoint start,
+                       TimePoint end);
+void NoteStreamWait(const void* stream, const std::string& name, TimePoint until);
+void NoteVramAlloc(const void* gpu, double bytes);
+void NoteVramFree(const void* gpu, double bytes);
+void NoteVramTeardown(const void* gpu, double device_reported);
+void NoteGpuDestroyed(const void* gpu);
+
+// --- sim/ hooks -----------------------------------------------------------
+void NoteDispatch(const void* queue, TimePoint when);
+void NoteQueueDestroyed(const void* queue);
+
+#else  // !AEGAEON_SIMSAN_ENABLED — every hook is a no-op the optimizer drops.
+
+inline void NoteAllocatorName(const void*, const std::string&) {}
+inline void NoteAllocatorDestroyed(const void*) {}
+inline void NoteAlloc(const void*, const BlockRef*, size_t) {}
+inline void NoteFree(const void*, const BlockRef&) {}
+inline void NoteDeferFree(const void*, const std::vector<BlockRef>&, TimePoint) {}
+inline void NoteReclaimPass(const void*, TimePoint) {}
+inline void NoteTransfer(const void*, const std::vector<BlockRef>&, const void*,
+                         const std::vector<BlockRef>&, const void*, TimePoint, TimePoint,
+                         TimePoint, int64_t) {}
+inline void NoteComputeLaunch(const void*, const std::vector<BlockRef>&, const void*, TimePoint,
+                              TimePoint, int64_t) {}
+inline void NoteTeardownCheck(const void*) {}
+inline void NoteStreamEnqueue(const void*, const std::string&, TimePoint, TimePoint) {}
+inline void NoteStreamWait(const void*, const std::string&, TimePoint) {}
+inline void NoteVramAlloc(const void*, double) {}
+inline void NoteVramFree(const void*, double) {}
+inline void NoteVramTeardown(const void*, double) {}
+inline void NoteGpuDestroyed(const void*) {}
+inline void NoteDispatch(const void*, TimePoint) {}
+inline void NoteQueueDestroyed(const void*) {}
+
+#endif  // AEGAEON_SIMSAN_ENABLED
+
+}  // namespace simsan
+}  // namespace aegaeon
+
+#endif  // AEGAEON_SANITIZER_SIMSAN_H_

@@ -4,7 +4,11 @@
 #include <cassert>
 #include <utility>
 
+#include "sanitizer/simsan.h"
+
 namespace aegaeon {
+
+EventQueue::~EventQueue() { simsan::NoteQueueDestroyed(this); }
 
 namespace {
 
@@ -114,6 +118,7 @@ TimePoint EventQueue::PopAndRun() {
   Callback cb = std::move(slots_[entry.slot].cb);
   ReleaseSlot(entry.slot);
   --live_count_;
+  simsan::NoteDispatch(this, entry.when);
   cb();
   return entry.when;
 }

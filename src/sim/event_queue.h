@@ -35,6 +35,7 @@ class EventQueue {
   using Callback = EventCallback;
 
   EventQueue() = default;
+  ~EventQueue();
 
   // Non-copyable: callbacks frequently capture `this` of other objects.
   EventQueue(const EventQueue&) = delete;

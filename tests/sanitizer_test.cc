@@ -1,0 +1,378 @@
+// SimSan detection tests: deliberately violate each rule class against the
+// shadow state and assert the violation is caught and correctly classified.
+// The ShadowState/SimSan classes compile in every build, so these tests run
+// with and without -DAEGAEON_SIMSAN=ON; the end-to-end tests at the bottom
+// additionally exercise the instrumented production hooks and are gated on
+// the macro.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/cluster.h"
+#include "hw/cuda_sim.h"
+#include "hw/gpu_spec.h"
+#include "kv/unified_cache.h"
+#include "model/registry.h"
+#include "sanitizer/simsan.h"
+#include "workload/dataset.h"
+#include "workload/generator.h"
+
+namespace aegaeon {
+namespace simsan {
+namespace {
+
+// Shorthand for building block lists.
+std::vector<BlockRef> Blocks(std::initializer_list<uint32_t> indices, uint32_t slab = 0) {
+  std::vector<BlockRef> out;
+  for (uint32_t index : indices) {
+    out.push_back(BlockRef{slab, index});
+  }
+  return out;
+}
+
+// Distinct non-null identities for allocators/streams/queues. The shadow
+// only compares these pointers, so any stable addresses work.
+struct Identities {
+  char gpu_cache, cpu_cache, stream, stream2, queue, gpu;
+};
+
+class ShadowStateTest : public ::testing::Test {
+ protected:
+  ShadowState state_;
+  Identities id_;
+
+  void AllocBlocks(const void* alloc, const std::vector<BlockRef>& blocks) {
+    state_.OnAlloc(alloc, blocks.data(), blocks.size());
+  }
+
+  size_t CountViolations(RuleClass rule) const {
+    size_t n = 0;
+    for (const Violation& v : state_.violations()) {
+      if (v.rule == rule) {
+        n++;
+      }
+    }
+    return n;
+  }
+};
+
+// --- rule ❶: compute-not-ready --------------------------------------------
+
+TEST_F(ShadowStateTest, ComputeOnNonResidentBlocksIsRule1) {
+  // No allocation at all: the KV never reached this cache.
+  state_.OnCompute(&id_.gpu_cache, Blocks({0, 1}), &id_.stream, 1.0, 2.0, /*owner=*/7);
+  ASSERT_EQ(state_.violations().size(), 2u);
+  EXPECT_EQ(state_.violations()[0].rule, RuleClass::kComputeNotReady);
+  EXPECT_NE(state_.violations()[0].message.find("not allocated"), std::string::npos);
+}
+
+TEST_F(ShadowStateTest, ComputeBeforeSwapInCompletesIsRule1) {
+  AllocBlocks(&id_.gpu_cache, Blocks({0}));
+  // Swap-in writes the block over [1, 5).
+  state_.OnTransfer(&id_.cpu_cache, {}, &id_.gpu_cache, Blocks({0}), &id_.stream,
+                    /*now=*/1.0, /*start=*/1.0, /*end=*/5.0, /*owner=*/3);
+  // Decode launches at t=2 without querying the swap-in event.
+  state_.OnCompute(&id_.gpu_cache, Blocks({0}), &id_.stream2, 2.0, 3.0, /*owner=*/3);
+  ASSERT_EQ(state_.violations().size(), 1u);
+  EXPECT_EQ(state_.violations()[0].rule, RuleClass::kComputeNotReady);
+  EXPECT_NE(state_.violations()[0].message.find("swap-in event"), std::string::npos);
+}
+
+TEST_F(ShadowStateTest, ComputeAfterSwapInCompletesIsClean) {
+  AllocBlocks(&id_.gpu_cache, Blocks({0}));
+  state_.OnTransfer(&id_.cpu_cache, {}, &id_.gpu_cache, Blocks({0}), &id_.stream, 1.0, 1.0, 5.0,
+                    3);
+  state_.OnCompute(&id_.gpu_cache, Blocks({0}), &id_.stream2, 5.0, 6.0, 3);
+  EXPECT_TRUE(state_.violations().empty());
+}
+
+TEST_F(ShadowStateTest, ComputeOnAnotherRequestsBlocksIsRule1) {
+  AllocBlocks(&id_.gpu_cache, Blocks({0}));
+  state_.OnCompute(&id_.gpu_cache, Blocks({0}), &id_.stream, 1.0, 2.0, /*owner=*/3);
+  ASSERT_TRUE(state_.violations().empty());
+  // A different request decodes over request 3's KV.
+  state_.OnCompute(&id_.gpu_cache, Blocks({0}), &id_.stream, 2.0, 3.0, /*owner=*/4);
+  ASSERT_EQ(state_.violations().size(), 1u);
+  EXPECT_EQ(state_.violations()[0].rule, RuleClass::kComputeNotReady);
+  EXPECT_NE(state_.violations()[0].message.find("owned by request 3"), std::string::npos);
+}
+
+TEST_F(ShadowStateTest, ComputeOnMoveListedBlocksIsRule1) {
+  AllocBlocks(&id_.gpu_cache, Blocks({0}));
+  state_.OnDeferFree(&id_.gpu_cache, Blocks({0}), /*transfer_done=*/9.0);
+  state_.OnCompute(&id_.gpu_cache, Blocks({0}), &id_.stream, 1.0, 2.0, 3);
+  ASSERT_EQ(state_.violations().size(), 1u);
+  EXPECT_EQ(state_.violations()[0].rule, RuleClass::kComputeNotReady);
+  EXPECT_NE(state_.violations()[0].message.find("move list"), std::string::npos);
+}
+
+// --- rule ❷: transfer-overlap ---------------------------------------------
+
+TEST_F(ShadowStateTest, TransferOverlappingPriorTransferIsRule2) {
+  AllocBlocks(&id_.cpu_cache, Blocks({0, 1}));
+  // First transfer writes the CPU blocks over [0, 10).
+  state_.OnTransfer(&id_.gpu_cache, {}, &id_.cpu_cache, Blocks({0, 1}), &id_.stream, 0.0, 0.0,
+                    10.0, 1);
+  // Second transfer reads them starting at t=4 — no stream wait.
+  state_.OnTransfer(&id_.cpu_cache, Blocks({0, 1}), &id_.gpu_cache, {}, &id_.stream2, 4.0, 4.0,
+                    8.0, 1);
+  EXPECT_EQ(CountViolations(RuleClass::kTransferOverlap), 2u);
+  EXPECT_NE(state_.violations()[0].message.find("cudaStreamWaitEvent"), std::string::npos);
+}
+
+TEST_F(ShadowStateTest, BackToBackTransfersWithWaitAreClean) {
+  AllocBlocks(&id_.cpu_cache, Blocks({0, 1}));
+  state_.OnTransfer(&id_.gpu_cache, {}, &id_.cpu_cache, Blocks({0, 1}), &id_.stream, 0.0, 0.0,
+                    10.0, 1);
+  // The second copy's stream waited on the first copy's event: start == 10.
+  state_.OnTransfer(&id_.cpu_cache, Blocks({0, 1}), &id_.gpu_cache, {}, &id_.stream2, 4.0, 10.0,
+                    14.0, 1);
+  EXPECT_TRUE(state_.violations().empty());
+}
+
+// --- rule ❸: free-in-flight -----------------------------------------------
+
+TEST_F(ShadowStateTest, ImmediateFreeDuringTransferIsRule3) {
+  AllocBlocks(&id_.gpu_cache, Blocks({0}));
+  state_.OnTransfer(&id_.gpu_cache, Blocks({0}), &id_.cpu_cache, {}, &id_.stream, 0.0, 0.0, 10.0,
+                    1);
+  // Release bypasses the move list while the copy still reads the block.
+  state_.OnFree(&id_.gpu_cache, BlockRef{0, 0});
+  ASSERT_EQ(CountViolations(RuleClass::kFreeInFlight), 1u);
+  EXPECT_NE(state_.violations()[0].message.find("bypassed the move list"), std::string::npos);
+}
+
+TEST_F(ShadowStateTest, EarlyMoveListReclaimIsRule3) {
+  AllocBlocks(&id_.gpu_cache, Blocks({0}));
+  state_.OnDeferFree(&id_.gpu_cache, Blocks({0}), /*transfer_done=*/10.0);
+  // The reclaim daemon frees at t=4 without querying the event.
+  state_.AdvanceTime(4.0);
+  state_.OnFree(&id_.gpu_cache, BlockRef{0, 0});
+  ASSERT_EQ(CountViolations(RuleClass::kFreeInFlight), 1u);
+  EXPECT_NE(state_.violations()[0].message.find("before its move-list transfer"),
+            std::string::npos);
+}
+
+TEST_F(ShadowStateTest, MoveListReclaimAfterEventIsClean) {
+  AllocBlocks(&id_.gpu_cache, Blocks({0}));
+  state_.OnDeferFree(&id_.gpu_cache, Blocks({0}), /*transfer_done=*/10.0);
+  state_.AdvanceTime(11.0);
+  state_.OnFree(&id_.gpu_cache, BlockRef{0, 0});
+  EXPECT_TRUE(state_.violations().empty());
+}
+
+TEST_F(ShadowStateTest, ReallocWhileCopyInFlightIsRule3) {
+  AllocBlocks(&id_.gpu_cache, Blocks({0}));
+  state_.OnTransfer(&id_.gpu_cache, Blocks({0}), &id_.cpu_cache, {}, &id_.stream, 0.0, 0.0, 10.0,
+                    1);
+  state_.OnFree(&id_.gpu_cache, BlockRef{0, 0});  // first rule-3 violation
+  AllocBlocks(&id_.gpu_cache, Blocks({0}));       // handed out again at t=0
+  EXPECT_EQ(CountViolations(RuleClass::kFreeInFlight), 2u);
+}
+
+// --- leak -----------------------------------------------------------------
+
+TEST_F(ShadowStateTest, TeardownReportsLeakedBlocksWithOwners) {
+  AllocBlocks(&id_.gpu_cache, Blocks({0, 1, 2}));
+  state_.OnCompute(&id_.gpu_cache, Blocks({0, 1, 2}), &id_.stream, 0.0, 1.0, /*owner=*/5);
+  state_.OnDeferFree(&id_.gpu_cache, Blocks({2}), 2.0);  // move-listed: not a leak
+  EXPECT_EQ(state_.CheckTeardown(&id_.gpu_cache), 2u);
+  ASSERT_EQ(CountViolations(RuleClass::kLeak), 1u);
+  EXPECT_NE(state_.violations()[0].message.find("request 5"), std::string::npos);
+}
+
+TEST_F(ShadowStateTest, CleanTeardownReportsNothing) {
+  AllocBlocks(&id_.gpu_cache, Blocks({0}));
+  state_.OnFree(&id_.gpu_cache, BlockRef{0, 0});
+  EXPECT_EQ(state_.CheckTeardown(&id_.gpu_cache), 0u);
+  EXPECT_TRUE(state_.violations().empty());
+}
+
+TEST_F(ShadowStateTest, VramShadowDriftIsLeak) {
+  state_.OnVramAlloc(&id_.gpu, 1000.0);
+  state_.OnVramFree(&id_.gpu, 400.0);
+  EXPECT_DOUBLE_EQ(state_.VramOutstanding(&id_.gpu), 600.0);
+  state_.CheckVramTeardown(&id_.gpu, /*device_reported=*/600.0);
+  EXPECT_TRUE(state_.violations().empty());
+  state_.CheckVramTeardown(&id_.gpu, /*device_reported=*/0.0);
+  EXPECT_EQ(CountViolations(RuleClass::kLeak), 1u);
+}
+
+// --- double-free ----------------------------------------------------------
+
+TEST_F(ShadowStateTest, FreeOfUnallocatedBlockIsDoubleFree) {
+  AllocBlocks(&id_.gpu_cache, Blocks({0}));
+  state_.OnFree(&id_.gpu_cache, BlockRef{0, 0});
+  state_.OnFree(&id_.gpu_cache, BlockRef{0, 0});
+  EXPECT_EQ(CountViolations(RuleClass::kDoubleFree), 1u);
+}
+
+TEST_F(ShadowStateTest, DoubleDeferFreeIsDoubleFree) {
+  AllocBlocks(&id_.gpu_cache, Blocks({0}));
+  state_.OnDeferFree(&id_.gpu_cache, Blocks({0}), 5.0);
+  state_.OnDeferFree(&id_.gpu_cache, Blocks({0}), 6.0);
+  ASSERT_EQ(CountViolations(RuleClass::kDoubleFree), 1u);
+  EXPECT_NE(state_.violations()[0].message.find("defer-freed twice"), std::string::npos);
+}
+
+TEST_F(ShadowStateTest, VramOverFreeIsDoubleFree) {
+  state_.OnVramAlloc(&id_.gpu, 100.0);
+  state_.OnVramFree(&id_.gpu, 250.0);
+  EXPECT_EQ(CountViolations(RuleClass::kDoubleFree), 1u);
+  EXPECT_DOUBLE_EQ(state_.VramOutstanding(&id_.gpu), 0.0);  // clamped after report
+}
+
+// --- time-regression ------------------------------------------------------
+
+TEST_F(ShadowStateTest, BackwardsDispatchIsTimeRegression) {
+  state_.OnDispatch(&id_.queue, 1.0);
+  state_.OnDispatch(&id_.queue, 2.0);
+  state_.OnDispatch(&id_.queue, 1.5);
+  ASSERT_EQ(CountViolations(RuleClass::kTimeRegression), 1u);
+  EXPECT_NE(state_.violations()[0].message.find("ran backwards"), std::string::npos);
+}
+
+TEST_F(ShadowStateTest, IndependentQueuesDoNotInterfere) {
+  // Two queues with interleaved timestamps: monotone per queue, fine.
+  char other_queue = 0;
+  state_.OnDispatch(&id_.queue, 5.0);
+  state_.OnDispatch(&other_queue, 1.0);
+  state_.OnDispatch(&other_queue, 2.0);
+  state_.OnDispatch(&id_.queue, 6.0);
+  EXPECT_TRUE(state_.violations().empty());
+}
+
+TEST_F(ShadowStateTest, ForgettingAQueueResetsItsClock) {
+  state_.OnDispatch(&id_.queue, 100.0);
+  state_.ForgetQueue(&id_.queue);
+  // A new queue reusing the address starts from scratch.
+  state_.OnDispatch(&id_.queue, 1.0);
+  EXPECT_TRUE(state_.violations().empty());
+}
+
+// --- bookkeeping / reporting ---------------------------------------------
+
+TEST_F(ShadowStateTest, ForgettingAnAllocatorDropsItsBlocks) {
+  AllocBlocks(&id_.gpu_cache, Blocks({0, 1}));
+  EXPECT_EQ(state_.TrackedBlocks(), 2u);
+  state_.ForgetAllocator(&id_.gpu_cache);
+  EXPECT_EQ(state_.TrackedBlocks(), 0u);
+  // Address reuse after destruction starts clean — no double-alloc report.
+  AllocBlocks(&id_.gpu_cache, Blocks({0}));
+  EXPECT_TRUE(state_.violations().empty());
+}
+
+TEST_F(ShadowStateTest, ViolationCarriesOffendingPairAndTrace) {
+  state_.NameObject(&id_.gpu_cache, "gpu-kv-0");
+  state_.NameObject(&id_.stream, "gpu0/kv_out");
+  AllocBlocks(&id_.gpu_cache, Blocks({3}));
+  state_.OnTransfer(&id_.gpu_cache, Blocks({3}), &id_.cpu_cache, {}, &id_.stream, 0.0, 0.0, 10.0,
+                    42);
+  state_.OnFree(&id_.gpu_cache, BlockRef{0, 3});
+  ASSERT_EQ(state_.violations().size(), 1u);
+  const Violation& v = state_.violations()[0];
+  EXPECT_EQ(v.current.op, ShadowOp::kFree);
+  EXPECT_EQ(v.previous.op, ShadowOp::kTransferRead);
+  EXPECT_EQ(v.previous.owner, 42);
+  EXPECT_FALSE(v.recent.empty());
+  std::string formatted = FormatViolation(v, state_);
+  EXPECT_NE(formatted.find("rule-3:free-in-flight"), std::string::npos);
+  EXPECT_NE(formatted.find("gpu-kv-0"), std::string::npos);
+  EXPECT_NE(formatted.find("gpu0/kv_out"), std::string::npos);
+}
+
+TEST_F(ShadowStateTest, ResetClearsEverything) {
+  AllocBlocks(&id_.gpu_cache, Blocks({0}));
+  state_.OnFree(&id_.gpu_cache, BlockRef{0, 0});
+  state_.OnFree(&id_.gpu_cache, BlockRef{0, 0});
+  EXPECT_FALSE(state_.violations().empty());
+  state_.Reset();
+  EXPECT_TRUE(state_.violations().empty());
+  EXPECT_EQ(state_.TrackedBlocks(), 0u);
+  EXPECT_EQ(state_.checks(), 0u);
+}
+
+TEST(SimSanTest, ReportCountsPerRule) {
+  SimSan san;
+  san.set_fatal(false);
+  char alloc = 0;
+  BlockRef block{0, 0};
+  san.state().OnFree(&alloc, block);         // double-free
+  san.state().OnDispatch(&alloc, 5.0);
+  san.state().OnDispatch(&alloc, 4.0);       // time-regression
+  SimSanReport report = san.report();
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(report.violations.size(), 2u);
+  EXPECT_EQ(report.Count(RuleClass::kDoubleFree), 1u);
+  EXPECT_EQ(report.Count(RuleClass::kTimeRegression), 1u);
+  EXPECT_EQ(report.Count(RuleClass::kLeak), 0u);
+  EXPECT_GT(report.checks, 0u);
+}
+
+#if AEGAEON_SIMSAN_ENABLED
+
+// --- end-to-end: the production hooks feed the thread-local checker -------
+
+// RAII guard: collect violations instead of aborting, restore afterwards.
+class CollectingScope {
+ public:
+  CollectingScope() {
+    ThreadInstance().Reset();
+    ThreadInstance().set_fatal(false);
+  }
+  ~CollectingScope() {
+    ThreadInstance().Reset();
+    ThreadInstance().set_fatal(true);
+  }
+};
+
+TEST(SimSanEndToEndTest, MoveListBypassInRealCacheIsCaught) {
+  CollectingScope scope;
+  UnifiedKvCache cache("e2e-cache", 64 << 20, 16 << 20, 16);
+  ShapeClassId shape = cache.RegisterShape(KvShape{4, 4, 64}, 2);
+  std::vector<BlockRef> blocks = cache.AllocTokens(shape, 64);
+  ASSERT_FALSE(blocks.empty());
+
+  // A copy touches the blocks until t=10 (recorded on a real stream).
+  StreamSim stream("e2e-stream");
+  stream.Enqueue(0.0, 10.0);
+  EventSim done = stream.Record();
+  cache.DeferFree(blocks, done);
+
+  // Bug under test: freeing the blocks directly instead of waiting for the
+  // reclaim daemon to observe the event (rule ❸).
+  cache.Free(blocks);
+
+  SimSanReport report = ThreadInstance().report();
+  EXPECT_EQ(report.Count(RuleClass::kFreeInFlight), blocks.size());
+}
+
+TEST(SimSanEndToEndTest, DefaultConfigSimulationRunsClean) {
+  CollectingScope scope;
+  ModelRegistry registry = ModelRegistry::MidSizeMarket(8);
+  AegaeonConfig config;
+  config.prefill_instances = 2;
+  config.decode_instances = 2;
+  AegaeonCluster cluster(config, registry, GpuSpec::H800());
+  std::vector<ArrivalEvent> trace =
+      GeneratePoisson(registry, /*rps=*/0.1, /*horizon=*/150.0, Dataset::ShareGpt(), /*seed=*/1);
+  RunMetrics metrics = cluster.Run(trace);
+  EXPECT_EQ(metrics.completed_requests, metrics.total_requests);
+
+  SimSanReport report = ThreadInstance().report();
+  for (const Violation& v : report.violations) {
+    ADD_FAILURE() << FormatViolation(v, ThreadInstance().state());
+  }
+  EXPECT_TRUE(report.clean());
+  // The hooks really fired: a full simulation performs many thousands of
+  // instrumented operations.
+  EXPECT_GT(report.checks, 1000u);
+}
+
+#endif  // AEGAEON_SIMSAN_ENABLED
+
+}  // namespace
+}  // namespace simsan
+}  // namespace aegaeon

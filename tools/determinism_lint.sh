@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Determinism lint: greps src/ for constructs that make simulation results
+# depend on something other than the inputs (hash iteration order, wall
+# clock, global PRNG state). The simulator's contract is bit-identical
+# output for identical (config, trace, seed) on every platform, so these
+# are bugs, not style nits.
+#
+# Checks:
+#   1. std::unordered_map / std::unordered_set — iteration order is
+#      implementation-defined; anything iterating one of these on a
+#      scheduling, eviction, or accounting path diverges across platforms.
+#      Use std::map / sorted vectors / dense arrays instead.
+#   2. wall-clock reads (std::chrono::system_clock, steady_clock, time(),
+#      gettimeofday) — simulated time must come from the event queue.
+#   3. bare rand()/srand() — all randomness must flow through sim/random.h
+#      (seeded, engine-stable SplitMix/xoshiro).
+#
+# A file:line may be allowlisted below with a justification; everything
+# else fails the build. Run from anywhere; exits non-zero on findings.
+
+set -u
+cd "$(dirname "$0")/.."
+
+SRC_DIRS=(src)
+status=0
+
+# --- allowlist -------------------------------------------------------------
+# Format: "<file>:<substring-of-line>"  — keep each entry justified.
+ALLOWLIST=(
+  # thread_pool measures *host* idle time to park workers; this never feeds
+  # simulated time or scheduling decisions.
+  "src/sim/thread_pool.cc:std::chrono::steady_clock"
+  # simulator.cc times the *host* cost of a run for SimPerf reports
+  # (events/s); simulated time comes exclusively from the event queue.
+  "src/sim/simulator.cc:std::chrono::steady_clock"
+)
+
+allowlisted() {
+  local file="$1" line="$2"
+  for entry in "${ALLOWLIST[@]}"; do
+    local afile="${entry%%:*}" apat="${entry#*:}"
+    if [[ "$file" == "$afile" && "$line" == *"$apat"* ]]; then
+      return 0
+    fi
+  done
+  return 1
+}
+
+report() {
+  local why="$1" file="$2" lineno="$3" line="$4"
+  echo "determinism-lint: $file:$lineno: $why"
+  echo "    $line"
+  status=1
+}
+
+scan() {
+  local pattern="$1" why="$2"
+  while IFS= read -r match; do
+    [[ -z "$match" ]] && continue
+    local file="${match%%:*}"
+    local rest="${match#*:}"
+    local lineno="${rest%%:*}"
+    local line="${rest#*:}"
+    # Ignore matches that live entirely inside a // comment.
+    local code="${line%%//*}"
+    if ! grep -qE "$pattern" <<< "$code"; then
+      continue
+    fi
+    if allowlisted "$file" "$line"; then
+      continue
+    fi
+    report "$why" "$file" "$lineno" "$line"
+  done < <(grep -rnE "$pattern" "${SRC_DIRS[@]}" --include='*.h' --include='*.cc' || true)
+}
+
+scan 'std::unordered_(map|set|multimap|multiset)' \
+  "unordered container (hash iteration order is not deterministic)"
+scan 'std::chrono::(system_clock|steady_clock|high_resolution_clock)' \
+  "wall-clock read (simulated time must come from the event queue)"
+scan '(^|[^a-zA-Z0-9_:.])(time|gettimeofday)\s*\(' \
+  "wall-clock read (simulated time must come from the event queue)"
+scan '(^|[^a-zA-Z0-9_:.])s?rand\s*\(' \
+  "bare rand()/srand() (use the seeded engines in sim/random.h)"
+
+if [[ $status -eq 0 ]]; then
+  echo "determinism-lint: OK (no nondeterministic constructs in ${SRC_DIRS[*]})"
+fi
+exit $status

@@ -1,0 +1,243 @@
+// Fleet-scale simulation throughput benchmark (sharded conservative-sync
+// executor, core/fleet.h). Tracks three things via BENCH_fleet_scale.json:
+//
+//   1. Sim throughput (events/sec) across pool sizes {64, 256, 512, 1024}
+//      GPUs x shard counts {1, 2, 4, 8}, with wall-clock per simulated
+//      hour as the operator-facing number.
+//   2. Determinism: for every pool size, results must be bit-identical
+//      across all shard counts (the conservative-sync contract).
+//   3. A machine-normalized regression handle: the ratio of single-shard
+//      fleet throughput to a plain 16-GPU AegaeonCluster run measured in
+//      the same process. Comparing ratios keeps the gate meaningful on
+//      machines slower or noisier than the baseline box (same approach as
+//      bench_sim_perf's current/legacy ratio).
+//
+// Usage: bench_fleet_scale [output.json]   (default BENCH_fleet_scale.json)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/cluster.h"
+#include "core/fleet.h"
+#include "hw/gpu_spec.h"
+#include "model/registry.h"
+#include "workload/dataset.h"
+#include "workload/generator.h"
+
+using namespace aegaeon;
+
+namespace {
+
+constexpr double kTraceHorizon = 90.0;  // seconds of simulated arrivals
+// GeneratePoisson's rate is PER MODEL; the market below holds one model per
+// two GPUs, so this keeps the aggregate load proportional to the pool
+// (0.05 rps/GPU) instead of quadratic in it.
+constexpr double kRpsPerModel = 0.5;
+constexpr uint64_t kSeed = 2025;
+constexpr int kGpusPerCell = 4;  // 2 prefill + 2 decode instances
+
+AegaeonConfig CellConfig() {
+  AegaeonConfig config;
+  config.prefill_instances = 2;
+  config.decode_instances = 2;
+  return config;
+}
+
+struct ShardPoint {
+  int shards = 0;
+  double wall_seconds = 0.0;
+  double events_per_sec = 0.0;
+  double speedup = 0.0;  // vs shards == 1 on the same pool
+  uint64_t events = 0;
+};
+
+struct PoolResult {
+  int gpus = 0;
+  int cells = 0;
+  uint64_t requests = 0;
+  uint64_t epochs = 0;
+  bool identical = true;
+  std::vector<ShardPoint> points;
+};
+
+struct Signature {
+  uint64_t completed = 0;
+  int64_t tokens_met = 0;
+  double horizon = 0.0;
+  uint64_t events = 0;
+  uint64_t epochs = 0;
+
+  bool operator==(const Signature& other) const {
+    return completed == other.completed && tokens_met == other.tokens_met &&
+           horizon == other.horizon && events == other.events && epochs == other.epochs;
+  }
+};
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+PoolResult RunPool(int gpus, const std::vector<int>& shard_counts) {
+  PoolResult result;
+  result.gpus = gpus;
+  result.cells = gpus / kGpusPerCell;
+
+  // The market and trace scale with the pool so per-cell load stays
+  // constant; both are rebuilt per run for task independence.
+  const int models = std::max(8, result.cells * 2);
+  ModelRegistry registry = ModelRegistry::MidSizeMarket(models);
+  std::vector<ArrivalEvent> trace =
+      GeneratePoisson(registry, kRpsPerModel, kTraceHorizon, Dataset::ShareGpt(), kSeed);
+  result.requests = trace.size();
+
+  Signature reference;
+  for (int shards : shard_counts) {
+    FleetConfig config;
+    config.cells = result.cells;
+    config.shards = shards;
+    config.cell = CellConfig();
+
+    ShardedFleet fleet(config, registry, GpuSpec::H800());
+    auto start = std::chrono::steady_clock::now();
+    RunMetrics metrics = fleet.Run(trace);
+    double wall = Seconds(start);
+
+    Signature sig;
+    sig.completed = metrics.completed_requests;
+    sig.tokens_met = metrics.tokens_met;
+    sig.horizon = metrics.horizon;
+    sig.events = metrics.sim.events_processed;
+    sig.epochs = metrics.sync_epochs;
+    if (shards == shard_counts.front()) {
+      reference = sig;
+      result.epochs = sig.epochs;
+    } else if (!(sig == reference)) {
+      result.identical = false;
+    }
+
+    ShardPoint point;
+    point.shards = shards;
+    point.wall_seconds = wall;
+    point.events = metrics.sim.events_processed;
+    point.events_per_sec = wall > 0.0 ? static_cast<double>(point.events) / wall : 0.0;
+    point.speedup =
+        result.points.empty() ? 1.0 : (wall > 0.0 ? result.points[0].wall_seconds / wall : 0.0);
+    result.points.push_back(point);
+
+    double sim_hours_per_wall_hour =
+        wall > 0.0 ? (metrics.horizon / 3600.0) / (wall / 3600.0) : 0.0;
+    std::printf("  %4d GPUs  %3d cells  %d shard%s  %7llu events  %6.2fs wall  "
+                "%9.0f ev/s  %6.2fx  (%.0f sim-h/h)\n",
+                gpus, result.cells, shards, shards == 1 ? " " : "s",
+                static_cast<unsigned long long>(point.events), wall, point.events_per_sec,
+                point.speedup, sim_hours_per_wall_hour);
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_fleet_scale.json";
+  const int cores = static_cast<int>(std::thread::hardware_concurrency());
+  const std::vector<int> pools = {64, 256, 512, 1024};
+  const std::vector<int> shard_counts = {1, 2, 4, 8};
+
+  std::printf("=== Fleet-scale sharded simulation (cores=%d) ===\n", cores);
+  std::printf("    pool sweep x shards, cell = %d GPUs, %.2f rps/model (1 model per 2 GPUs), "
+              "%.0fs trace\n\n",
+              kGpusPerCell, kRpsPerModel, kTraceHorizon);
+
+  // Machine-speed reference: one plain 16-GPU cluster run in-process.
+  ModelRegistry ref_registry = ModelRegistry::MidSizeMarket(8);
+  auto ref_trace =
+      GeneratePoisson(ref_registry, kRpsPerModel, kTraceHorizon, Dataset::ShareGpt(), kSeed);
+  AegaeonConfig ref_config;  // paper split: 6 prefill + 10 decode
+  AegaeonCluster reference(ref_config, ref_registry, GpuSpec::H800());
+  RunMetrics ref_metrics = reference.Run(ref_trace);
+  const double ref_eps = ref_metrics.sim.EventsPerSec();
+  std::printf("reference 16-GPU cluster: %llu events -> %.0f ev/s\n\n",
+              static_cast<unsigned long long>(ref_metrics.sim.events_processed), ref_eps);
+
+  std::vector<PoolResult> results;
+  bool all_identical = true;
+  for (int gpus : pools) {
+    results.push_back(RunPool(gpus, shard_counts));
+    all_identical = all_identical && results.back().identical;
+  }
+
+  // Headline numbers for the regression gate.
+  double single_shard_eps = 0.0;   // largest pool, shards == 1
+  double best_large_speedup = 0.0; // best 8-shard speedup on pools >= 512
+  for (const PoolResult& pool : results) {
+    if (pool.gpus == pools.back()) {
+      single_shard_eps = pool.points[0].events_per_sec;
+    }
+    if (pool.gpus >= 512) {
+      best_large_speedup = std::max(best_large_speedup, pool.points.back().speedup);
+    }
+  }
+  const double fleet_ratio = ref_eps > 0.0 ? single_shard_eps / ref_eps : 0.0;
+
+  std::printf("\nresults %s across shard counts\n",
+              all_identical ? "bit-identical" : "DIVERGED (BUG)");
+  std::printf("single-shard fleet ratio (vs 16-GPU reference): %.3f\n", fleet_ratio);
+  std::printf("best 8-shard speedup at >=512 GPUs: %.2fx on %d cores\n", best_large_speedup,
+              cores);
+
+  FILE* out = std::fopen(out_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"hardware_concurrency\": %d,\n"
+               "  \"reference\": {\n"
+               "    \"gpus\": 16,\n"
+               "    \"events\": %llu,\n"
+               "    \"events_per_sec\": %.0f\n"
+               "  },\n",
+               cores, static_cast<unsigned long long>(ref_metrics.sim.events_processed), ref_eps);
+  std::fprintf(out, "  \"pools\": [\n");
+  for (size_t p = 0; p < results.size(); ++p) {
+    const PoolResult& pool = results[p];
+    std::fprintf(out,
+                 "    {\n"
+                 "      \"gpus\": %d,\n"
+                 "      \"cells\": %d,\n"
+                 "      \"requests\": %llu,\n"
+                 "      \"epochs\": %llu,\n"
+                 "      \"identical\": %s,\n"
+                 "      \"shards\": [\n",
+                 pool.gpus, pool.cells, static_cast<unsigned long long>(pool.requests),
+                 static_cast<unsigned long long>(pool.epochs),
+                 pool.identical ? "true" : "false");
+    for (size_t s = 0; s < pool.points.size(); ++s) {
+      const ShardPoint& point = pool.points[s];
+      std::fprintf(out,
+                   "        {\"shards\": %d, \"events\": %llu, \"wall_seconds\": %.3f, "
+                   "\"events_per_sec\": %.0f, \"speedup\": %.2f}%s\n",
+                   point.shards, static_cast<unsigned long long>(point.events),
+                   point.wall_seconds, point.events_per_sec, point.speedup,
+                   s + 1 < pool.points.size() ? "," : "");
+    }
+    std::fprintf(out, "      ]\n    }%s\n", p + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out,
+               "  ],\n"
+               "  \"identical_results\": %s,\n"
+               "  \"single_shard_events_per_sec\": %.0f,\n"
+               "  \"fleet_ratio\": %.3f,\n"
+               "  \"best_large_pool_speedup\": %.2f\n"
+               "}\n",
+               all_identical ? "true" : "false", single_shard_eps, fleet_ratio,
+               best_large_speedup);
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path);
+  return all_identical ? 0 : 1;
+}

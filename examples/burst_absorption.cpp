@@ -46,7 +46,7 @@ int main() {
   ServerlessLlmCluster sllm(sllm_config, registry, GpuSpec::H800());
   RunMetrics theirs = sllm.Run(trace);
 
-  auto burst_attainment = [&](const std::vector<Request>& requests) {
+  auto burst_attainment = [&](const auto& requests) {
     int64_t met = 0;
     int64_t total = 0;
     for (const Request& r : requests) {

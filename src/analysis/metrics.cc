@@ -1,5 +1,7 @@
 #include "analysis/metrics.h"
 
+#include <algorithm>
+
 namespace aegaeon {
 
 LatencyBreakdown& LatencyBreakdown::operator+=(const LatencyBreakdown& other) {
@@ -12,7 +14,36 @@ LatencyBreakdown& LatencyBreakdown::operator+=(const LatencyBreakdown& other) {
   return *this;
 }
 
-void FillDecodeWaits(std::vector<Request>& requests) {
+RunMetrics& RunMetrics::MergeFrom(const RunMetrics& other) {
+  total_requests += other.total_requests;
+  completed_requests += other.completed_requests;
+  tokens_total += other.tokens_total;
+  tokens_met += other.tokens_met;
+  horizon = std::max(horizon, other.horizon);
+  breakdown += other.breakdown;
+  rejected_requests += other.rejected_requests;
+  shed_requests += other.shed_requests;
+  timed_out_requests += other.timed_out_requests;
+  degraded_requests += other.degraded_requests;
+  retry_attempts += other.retry_attempts;
+  slo_good_requests += other.slo_good_requests;
+  ttft_samples.insert(ttft_samples.end(), other.ttft_samples.begin(), other.ttft_samples.end());
+  request_latency_samples.insert(request_latency_samples.end(),
+                                 other.request_latency_samples.begin(),
+                                 other.request_latency_samples.end());
+  switch_latency_samples.insert(switch_latency_samples.end(),
+                                other.switch_latency_samples.begin(),
+                                other.switch_latency_samples.end());
+  kv_sync_samples.insert(kv_sync_samples.end(), other.kv_sync_samples.begin(),
+                         other.kv_sync_samples.end());
+  sim += other.sim;
+  return *this;
+}
+
+namespace {
+
+template <typename Container>
+void FillDecodeWaitsImpl(Container& requests) {
   for (Request& r : requests) {
     if (r.finished() && r.first_token_time != kTimeUnset && r.decode_wait == 0.0) {
       double wait = (r.completion - r.first_token_time) - r.decode_exec;
@@ -21,7 +52,8 @@ void FillDecodeWaits(std::vector<Request>& requests) {
   }
 }
 
-RunMetrics FoldRequests(const std::vector<Request>& requests, Duration horizon) {
+template <typename Container>
+RunMetrics FoldRequestsImpl(const Container& requests, Duration horizon) {
   RunMetrics metrics;
   metrics.horizon = horizon;
   for (const Request& r : requests) {
@@ -65,6 +97,20 @@ RunMetrics FoldRequests(const std::vector<Request>& requests, Duration horizon) 
     metrics.kv_sync_samples.push_back(r.data_overhead + r.control_overhead);
   }
   return metrics;
+}
+
+}  // namespace
+
+void FillDecodeWaits(std::vector<Request>& requests) { FillDecodeWaitsImpl(requests); }
+
+void FillDecodeWaits(std::deque<Request>& requests) { FillDecodeWaitsImpl(requests); }
+
+RunMetrics FoldRequests(const std::vector<Request>& requests, Duration horizon) {
+  return FoldRequestsImpl(requests, horizon);
+}
+
+RunMetrics FoldRequests(const std::deque<Request>& requests, Duration horizon) {
+  return FoldRequestsImpl(requests, horizon);
 }
 
 }  // namespace aegaeon

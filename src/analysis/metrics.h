@@ -5,6 +5,7 @@
 #define AEGAEON_ANALYSIS_METRICS_H_
 
 #include <cstdint>
+#include <deque>
 #include <vector>
 
 #include "core/request.h"
@@ -58,6 +59,21 @@ struct RunMetrics {
   // Measured, not simulated: excluded from determinism comparisons.
   SimPerfCounters sim;
 
+  // Per-shard host-side cost when this run was produced by the sharded
+  // fleet; empty for single-cluster runs. `sim` holds the pooled totals
+  // either way. Measured, not simulated — excluded from determinism
+  // comparisons like `sim`.
+  std::vector<SimPerfCounters> shard_sim;
+  // Conservative-sync epochs executed by the fleet (0 for single-cluster
+  // runs). Deterministic: a pure function of the trace and the lookahead.
+  uint64_t sync_epochs = 0;
+
+  // Folds another run's simulated results into this one (cell -> fleet
+  // aggregation): sums the counters, concatenates the samples, keeps the
+  // max horizon, and pools `sim`. shard_sim/sync_epochs are fleet-level and
+  // left untouched.
+  RunMetrics& MergeFrom(const RunMetrics& other);
+
   // Token-level SLO attainment in [0, 1]; requests that never produced a
   // token count all their tokens as missed.
   double SloAttainment() const {
@@ -81,11 +97,15 @@ struct RunMetrics {
 // completion time of the run. Unfinished requests contribute their
 // never-generated tokens as SLO misses (they were due by the horizon).
 RunMetrics FoldRequests(const std::vector<Request>& requests, Duration horizon);
+// Deque overload: AegaeonCluster stores requests in a deque so pointers
+// stay stable under the fleet's incremental arrival injection.
+RunMetrics FoldRequests(const std::deque<Request>& requests, Duration horizon);
 
 // Derives decode_wait for completed requests as (completion - first token)
 // minus decode execution, for systems that don't track waits inline (the
 // baseline runners).
 void FillDecodeWaits(std::vector<Request>& requests);
+void FillDecodeWaits(std::deque<Request>& requests);
 
 }  // namespace aegaeon
 

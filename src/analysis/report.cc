@@ -8,8 +8,11 @@
 
 namespace aegaeon {
 
-std::vector<ModelReport> BuildPerModelReport(const std::vector<Request>& requests,
-                                             const ModelRegistry& registry) {
+namespace {
+
+template <typename Container>
+std::vector<ModelReport> BuildPerModelReportImpl(const Container& requests,
+                                                 const ModelRegistry& registry) {
   std::map<ModelId, ModelReport> by_model;
   std::map<ModelId, std::vector<double>> ttfts;
   for (const Request& r : requests) {
@@ -40,6 +43,18 @@ std::vector<ModelReport> BuildPerModelReport(const std::vector<Request>& request
     rows.push_back(std::move(report));
   }
   return rows;
+}
+
+}  // namespace
+
+std::vector<ModelReport> BuildPerModelReport(const std::vector<Request>& requests,
+                                             const ModelRegistry& registry) {
+  return BuildPerModelReportImpl(requests, registry);
+}
+
+std::vector<ModelReport> BuildPerModelReport(const std::deque<Request>& requests,
+                                             const ModelRegistry& registry) {
+  return BuildPerModelReportImpl(requests, registry);
 }
 
 void PrintPerModelReport(std::ostream& os, const std::vector<ModelReport>& report) {
@@ -111,6 +126,27 @@ void WriteMetricsJson(std::ostream& os, const RunMetrics& metrics) {
   if (metrics.retry_attempts > 0) {
     os << "\"retry_attempts\":" << metrics.retry_attempts << ",";
   }
+  // Host-side simulation cost: pooled counters always; per-shard breakdown
+  // and epoch count only for sharded-fleet runs. Wall-clock values are
+  // measured, not simulated — dashboards must not diff them across runs.
+  os << "\"sim\":{"
+     << "\"events_processed\":" << metrics.sim.events_processed << ","
+     << "\"wall_seconds\":" << metrics.sim.wall_seconds << ","
+     << "\"events_per_sec\":" << metrics.sim.EventsPerSec();
+  if (metrics.sync_epochs > 0) {
+    os << ",\"sync_epochs\":" << metrics.sync_epochs;
+  }
+  if (!metrics.shard_sim.empty()) {
+    os << ",\"shards\":[";
+    for (size_t i = 0; i < metrics.shard_sim.size(); ++i) {
+      const SimPerfCounters& shard = metrics.shard_sim[i];
+      os << (i == 0 ? "" : ",") << "{"
+         << "\"events_processed\":" << shard.events_processed << ","
+         << "\"wall_seconds\":" << shard.wall_seconds << "}";
+    }
+    os << "]";
+  }
+  os << "},";
   os << "\"horizon_s\":" << metrics.horizon << ","
      << "\"ttft_mean_s\":" << Mean(metrics.ttft_samples) << ","
      << "\"ttft_p99_s\":"

@@ -38,6 +38,9 @@ struct ModelReport {
 // model id.
 std::vector<ModelReport> BuildPerModelReport(const std::vector<Request>& requests,
                                              const ModelRegistry& registry);
+// Deque overload (AegaeonCluster::requests() under the sharded fleet).
+std::vector<ModelReport> BuildPerModelReport(const std::deque<Request>& requests,
+                                             const ModelRegistry& registry);
 
 // Aligned table of the per-model report. Proxy-outcome columns (rejected /
 // shed / timeout) appear only when at least one row has a nonzero count, so

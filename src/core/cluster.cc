@@ -204,8 +204,15 @@ void AegaeonCluster::RequeuePrefill(Request* request) {
 }
 
 RunMetrics AegaeonCluster::Run(const std::vector<ArrivalEvent>& trace) {
+  BeginRun();
+  InjectArrivals(trace.data(), trace.size(), 0.0);
+  AdvanceAll();
+  return FinishRun();
+}
+
+void AegaeonCluster::BeginRun() {
   requests_.clear();
-  requests_.reserve(trace.size());  // pointers into requests_ must stay valid
+  completed_count_ = 0;
   if (config_.proxy.enabled) {
     MakeProxy();
   }
@@ -225,23 +232,41 @@ RunMetrics AegaeonCluster::Run(const std::vector<ArrivalEvent>& trace) {
       }
     });
   }
-  for (const ArrivalEvent& event : trace) {
+}
+
+void AegaeonCluster::InjectArrivals(const ArrivalEvent* events, size_t count, Duration delay) {
+  std::vector<EventQueue::Pending> batch;
+  batch.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const ArrivalEvent& event = events[i];
     Request request;
     request.id = requests_.size();
     request.model = event.model;
     request.prompt_tokens = event.prompt_tokens;
     request.output_tokens = std::max<int64_t>(1, event.output_tokens);
+    // Arrival stays the client-observed time: the dispatch delay surfaces as
+    // prefill wait / TTFT, not as a shifted arrival.
     request.arrival = event.time;
     request.priority = event.priority;
     requests_.push_back(request);
     Request* r = &requests_.back();
+    EventQueue::Pending pending;
+    pending.when = event.time + delay;
     if (proxy_ != nullptr) {
-      sim_.At(event.time, [this, r] { proxy_->OnArrival(r); });
+      pending.cb = [this, r] { proxy_->OnArrival(r); };
     } else {
-      sim_.At(event.time, [this, r] { OnArrival(r); });
+      pending.cb = [this, r] { OnArrival(r); };
     }
+    batch.push_back(std::move(pending));
   }
-  sim_.Run();
+  sim_.ScheduleBatch(std::move(batch));
+}
+
+uint64_t AegaeonCluster::AdvanceUntil(TimePoint horizon) { return sim_.RunUntil(horizon); }
+
+uint64_t AegaeonCluster::AdvanceAll() { return sim_.Run(); }
+
+RunMetrics AegaeonCluster::FinishRun() {
   // Teardown audit: after quiescence every KV block must be free or parked
   // on a move list, and shadow VRAM accounting must match each device.
   for (PrefillUnit& unit : prefill_units_) {
@@ -261,6 +286,15 @@ RunMetrics AegaeonCluster::Run(const std::vector<ArrivalEvent>& trace) {
   metrics.switch_latency_samples = SwitchLatencies();
   metrics.sim = sim_.perf();
   return metrics;
+}
+
+uint64_t AegaeonCluster::settled_requests() const {
+  uint64_t settled = completed_count_;
+  if (proxy_ != nullptr) {
+    const ProxyStats& stats = proxy_->stats();
+    settled += stats.rejected + stats.shed + stats.timed_out;
+  }
+  return settled;
 }
 
 std::vector<double> AegaeonCluster::SwitchLatencies() const {
@@ -584,6 +618,7 @@ void AegaeonCluster::FinishPrefill(int unit_index, Request* request) {
     // Single-token request: done at prefill.
     request->completion = now;
     request->phase = RequestPhase::kDone;
+    ++completed_count_;
     xfer_.Release(request->kv, *unit.kv_cache, CpuKvOf(request->kv.node));
     return;
   }
@@ -996,6 +1031,7 @@ void AegaeonCluster::FinishTurn(DecodeUnit& unit, std::vector<Request*> active,
     if (r->finished()) {
       r->completion = exec_start + static_cast<double>(steps_r) * step_time;
       r->phase = RequestPhase::kDone;
+      ++completed_count_;
       xfer_.Release(r->kv, *unit.kv_cache, CpuKvOf(unit.node));
       OnDecodeComplete(unit, r);
     } else {

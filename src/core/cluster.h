@@ -37,7 +37,42 @@ class AegaeonCluster {
   AegaeonCluster(AegaeonConfig config, const ModelRegistry& registry, const GpuSpec& gpu_spec);
 
   // Serves the whole trace to completion and returns run metrics.
+  // Equivalent to BeginRun(); InjectArrivals(trace.data(), trace.size(),
+  // 0.0); AdvanceAll(); FinishRun().
   RunMetrics Run(const std::vector<ArrivalEvent>& trace);
+
+  // --- Stepwise execution (sharded fleet; see core/fleet.h) --------------
+  // The fleet drives each cell cluster incrementally: arrivals are injected
+  // epoch by epoch as the dispatcher routes them, and the event loop is
+  // advanced to each epoch's conservative horizon rather than to empty.
+  //
+  // Prepares the cluster for event processing: warms model caches, arms
+  // failure plans, and constructs the proxy when enabled. Call once.
+  void BeginRun();
+  // Creates a Request per event and schedules its injection at
+  // `event.time + delay` (the fleet's dispatch latency; 0 for direct runs).
+  // Requests live in a deque, so pointers captured by scheduled events stay
+  // valid across later injections.
+  void InjectArrivals(const ArrivalEvent* events, size_t count, Duration delay);
+  // Processes every event with timestamp <= horizon, then pins the clock to
+  // the horizon. Returns the number of events processed.
+  uint64_t AdvanceUntil(TimePoint horizon);
+  // Processes events until the queue is empty. Returns events processed.
+  uint64_t AdvanceAll();
+  // Runs the teardown audits and folds metrics. Call once, after the final
+  // advance.
+  RunMetrics FinishRun();
+
+  // Requests that reached RequestPhase::kDone.
+  uint64_t completed_requests() const { return completed_count_; }
+  // Requests whose lifecycle has ended: completed plus proxy-dropped. The
+  // fleet's load balancer uses injected - settled as a cell's outstanding
+  // load.
+  uint64_t settled_requests() const;
+  uint64_t injected_requests() const { return requests_.size(); }
+  TimePoint Now() const { return sim_.Now(); }
+  bool pending() const { return sim_.pending(); }
+  const SimPerfCounters& sim_perf() const { return sim_.perf(); }
 
   // --- Fault injection (§3.3: the proxy layer provides fault tolerance) --
   // Schedules instance `index` (prefill or decode partition) to fail at
@@ -50,7 +85,7 @@ class AegaeonCluster {
   void ScheduleFailure(bool prefill_partition, int index, TimePoint when, Duration downtime);
 
   // --- Introspection (tests and benches) --------------------------------
-  const std::vector<Request>& requests() const { return requests_; }
+  const std::deque<Request>& requests() const { return requests_; }
   // Node 0's caches (the only node unless config.nodes > 1).
   const UnifiedKvCache& cpu_kv_cache() const { return *node_states_[0].cpu_kv; }
   const TransferEngine& transfer_engine() const { return xfer_; }
@@ -209,7 +244,10 @@ class AegaeonCluster {
   std::deque<Request*> decode_overflow_;
 
   std::vector<FailurePlan> failure_plans_;
-  std::vector<Request> requests_;
+  // Deque: InjectArrivals appends incrementally while scheduled events hold
+  // pointers to earlier elements, so reallocation is not an option.
+  std::deque<Request> requests_;
+  uint64_t completed_count_ = 0;
   TimelineRecorder* timeline_ = nullptr;
 };
 

@@ -1,0 +1,200 @@
+#include "core/fleet.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace aegaeon {
+
+namespace {
+
+int ClampShards(int shards, int cells) { return std::max(1, std::min(shards, cells)); }
+
+}  // namespace
+
+ShardedFleet::ShardedFleet(FleetConfig config, const ModelRegistry& registry,
+                           const GpuSpec& gpu_spec)
+    : config_(config),
+      sharded_(ClampShards(config.shards, std::max(config.cells, 1)), config.threads),
+      mailboxes_(ClampShards(config.shards, std::max(config.cells, 1))) {
+  const int cells = std::max(config_.cells, 1);
+  // The dispatch channel only exists when there is more than one cell to
+  // route between; a single cell gets one unbounded (exact) epoch. The
+  // reserved channels would tighten the lookahead here once implemented.
+  CrossShardChannels channels;
+  if (cells > 1) {
+    assert(config_.dispatch_latency > 0.0 &&
+           "conservative sync needs a positive dispatch latency");
+    channels.dispatch = config_.dispatch_latency;
+  }
+  lookahead_ = ConservativeLookahead(channels);
+
+  cells_.reserve(static_cast<size_t>(cells));
+  simsan_.reserve(static_cast<size_t>(cells));
+  routed_.assign(static_cast<size_t>(cells), 0);
+  for (int i = 0; i < cells; ++i) {
+    simsan_.push_back(std::make_unique<simsan::SimSan>());
+    // Construction registers allocators/streams with the checker, so it
+    // must already run under the cell's scope.
+    simsan::ScopedInstance scope(*simsan_[static_cast<size_t>(i)]);
+    cells_.push_back(std::make_unique<AegaeonCluster>(config_.cell, registry, gpu_spec));
+  }
+}
+
+ShardedFleet::~ShardedFleet() {
+  // Destructors fire queue/GPU teardown hooks; route them to their cell's
+  // checker like every other access.
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    simsan::ScopedInstance scope(*simsan_[i]);
+    cells_[i].reset();
+  }
+}
+
+int ShardedFleet::total_gpus() const {
+  return cells() * (config_.cell.prefill_instances + config_.cell.decode_instances) *
+         config_.cell.instance_tp;
+}
+
+void ShardedFleet::ShardRange(int shard, int* begin, int* end) const {
+  const int n = cells();
+  const int k = sharded_.shards();
+  const int base = n / k;
+  const int extra = n % k;
+  *begin = shard * base + std::min(shard, extra);
+  *end = *begin + base + (shard < extra ? 1 : 0);
+}
+
+int ShardedFleet::RouteArrival(const ArrivalEvent& event) {
+  (void)event;
+  // Least outstanding work, ties to the lowest cell id. Outstanding counts
+  // both served and just-routed requests: injected_requests() reflects the
+  // routing already performed at this barrier, so a burst spreads across
+  // cells instead of piling onto one snapshot winner.
+  int best = 0;
+  uint64_t best_load = ~uint64_t{0};
+  for (int i = 0; i < cells(); ++i) {
+    const AegaeonCluster& cell = *cells_[static_cast<size_t>(i)];
+    const uint64_t load = cell.injected_requests() - cell.settled_requests();
+    if (load < best_load) {
+      best_load = load;
+      best = i;
+    }
+  }
+  return best;
+}
+
+TimePoint ShardedFleet::PlanEpoch() {
+  const std::vector<ArrivalEvent>& trace = *trace_;
+  if (next_arrival_ >= trace.size()) {
+    return kTimeNever;  // nothing left to route: final drain epoch
+  }
+  if (lookahead_ >= kTimeNever) {
+    // No cross-cell channel (single cell): route everything up front and
+    // run one exact, unbounded epoch.
+    while (next_arrival_ < trace.size()) {
+      const ArrivalEvent& event = trace[next_arrival_++];
+      const int target = RouteArrival(event);
+      mailboxes_.Post(mailboxes_.Dispatcher(), target, event.time, event);
+      DeliverMailboxes();
+    }
+    return kTimeNever;
+  }
+  // Fast-forward empty epochs: snap the window to the lookahead grid slot
+  // holding the next undispatched arrival. Grid times are a pure function
+  // of (trace, lookahead), so every shard count sees identical barriers.
+  const TimePoint base = std::floor(trace[next_arrival_].time / lookahead_) * lookahead_;
+  const TimePoint horizon = base + lookahead_;
+  while (next_arrival_ < trace.size() && trace[next_arrival_].time < horizon) {
+    const ArrivalEvent& event = trace[next_arrival_++];
+    const int target = RouteArrival(event);
+    // Routed through the mailbox like any cross-shard event: delivery time
+    // is the arrival plus the dispatch hop, which is >= the horizon — the
+    // current epoch cannot observe it, the next one will.
+    mailboxes_.Post(mailboxes_.Dispatcher(), target, event.time + config_.dispatch_latency,
+                    event);
+    DeliverMailboxes();
+  }
+  return horizon;
+}
+
+void ShardedFleet::DeliverMailboxes() {
+  for (const CrossShardEvent<ArrivalEvent>& event : mailboxes_.Collect()) {
+    AegaeonCluster& cell = *cells_[static_cast<size_t>(event.target)];
+    simsan::ScopedInstance scope(*simsan_[static_cast<size_t>(event.target)]);
+    cell.InjectArrivals(&event.payload, 1, config_.dispatch_latency);
+    ++routed_[static_cast<size_t>(event.target)];
+  }
+}
+
+RunMetrics ShardedFleet::Run(const std::vector<ArrivalEvent>& trace) {
+  assert(std::is_sorted(trace.begin(), trace.end(),
+                        [](const ArrivalEvent& a, const ArrivalEvent& b) {
+                          return a.time < b.time;
+                        }) &&
+         "fleet dispatch consumes the trace in time order");
+  trace_ = &trace;
+  next_arrival_ = 0;
+  sync_overruns_.store(0, std::memory_order_relaxed);
+
+  sharded_.Phase([this](int shard) {
+    int begin = 0, end = 0;
+    ShardRange(shard, &begin, &end);
+    for (int i = begin; i < end; ++i) {
+      simsan::ScopedInstance scope(*simsan_[static_cast<size_t>(i)]);
+      cells_[static_cast<size_t>(i)]->BeginRun();
+    }
+  });
+
+  sharded_.Run(
+      [this] { return PlanEpoch(); },
+      [this](int shard, TimePoint horizon) {
+        int begin = 0, end = 0;
+        ShardRange(shard, &begin, &end);
+        uint64_t processed = 0;
+        for (int i = begin; i < end; ++i) {
+          AegaeonCluster& cell = *cells_[static_cast<size_t>(i)];
+          simsan::SimSan& checker = *simsan_[static_cast<size_t>(i)];
+          simsan::ScopedInstance scope(checker);
+          processed += horizon >= kTimeNever ? cell.AdvanceAll() : cell.AdvanceUntil(horizon);
+          // Conservative-sync audit: the cell's shadow clock must not have
+          // run past the horizon no other shard has reached yet.
+          if (horizon < kTimeNever && checker.state().now() > horizon) {
+            sync_overruns_.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        return processed;
+      });
+
+  cell_metrics_.assign(cells_.size(), RunMetrics{});
+  sharded_.Phase([this](int shard) {
+    int begin = 0, end = 0;
+    ShardRange(shard, &begin, &end);
+    for (int i = begin; i < end; ++i) {
+      simsan::ScopedInstance scope(*simsan_[static_cast<size_t>(i)]);
+      cell_metrics_[static_cast<size_t>(i)] = cells_[static_cast<size_t>(i)]->FinishRun();
+    }
+  });
+  trace_ = nullptr;
+
+  RunMetrics fleet;
+  for (const RunMetrics& cell : cell_metrics_) {
+    fleet.MergeFrom(cell);
+  }
+  fleet.shard_sim = sharded_.shard_perf();
+  fleet.sync_epochs = sharded_.epochs();
+  return fleet;
+}
+
+FleetAudit ShardedFleet::audit() const {
+  FleetAudit audit;
+  audit.epochs = sharded_.epochs();
+  audit.sync_overruns = sync_overruns_.load(std::memory_order_relaxed);
+  for (const std::unique_ptr<simsan::SimSan>& checker : simsan_) {
+    const simsan::SimSanReport report = checker->report();
+    audit.checks += report.checks;
+    audit.violations += report.violations.size();
+  }
+  return audit;
+}
+
+}  // namespace aegaeon

@@ -1,0 +1,149 @@
+// ShardedFleet: fleet-scale serving simulation over a pool of Aegaeon
+// cells, advanced in parallel under a conservative time-sync protocol.
+//
+// Decomposition. A fleet of `cells` independent serving cells, each a full
+// AegaeonCluster (own Simulator, EventQueue, schedulers, KV machinery) of
+// `cell.prefill_instances + cell.decode_instances` instances. A serial
+// fleet dispatcher routes every arrival to the least-loaded cell; routed
+// requests reach their cell after `dispatch_latency` (the fleet router /
+// network hop). Cells never interact otherwise — KV migration and
+// autoscaling stay cell-local (the cross_cell_* flags reserve the channels).
+//
+// Parallelism. The cells are grouped into `shards` contiguous groups; a
+// shard is the unit of parallel execution, nothing more. Execution proceeds
+// in epochs: a serial barrier stage dispatches the next window of arrivals
+// (through deterministic EpochMailboxes), then every shard advances its
+// cells to the epoch horizon on the thread pool. The horizon step is the
+// conservative lookahead — the minimum enabled cross-cell channel latency,
+// i.e. `dispatch_latency` — so everything a cell does within an epoch is
+// invisible to other cells until after the barrier, and the parallel
+// advance cannot reorder observable events.
+//
+// Determinism. Epoch boundaries, dispatch decisions, and mailbox order are
+// computed serially from the trace alone; shards own disjoint state during
+// the advance. RunMetrics are therefore bit-identical for every shard
+// count, including shards == 1. With cells == 1 the lookahead is infinite
+// (a single cell has no cross-cell channel): the run collapses to one
+// epoch and, with dispatch_latency == 0, reproduces a plain
+// AegaeonCluster::Run exactly. See DESIGN.md §8.
+//
+// SimSan. Each cell gets its own checker instance, installed (ScopedInstance)
+// around construction, every advance, teardown, and destruction, so shadow
+// state follows the cell across pool threads. At each barrier the fleet
+// audits that no cell's shadow watermark overran the epoch horizon
+// (`sync_overruns`), and pools checks/violations into the final FleetAudit.
+
+#ifndef AEGAEON_CORE_FLEET_H_
+#define AEGAEON_CORE_FLEET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "analysis/metrics.h"
+#include "core/cluster.h"
+#include "core/config.h"
+#include "core/request.h"
+#include "hw/gpu_spec.h"
+#include "model/registry.h"
+#include "sanitizer/simsan.h"
+#include "sim/mailbox.h"
+#include "sim/sharded_sim.h"
+#include "sim/time.h"
+
+namespace aegaeon {
+
+struct FleetConfig {
+  // Number of serving cells. Part of the simulated configuration: it
+  // changes dispatch granularity and therefore results.
+  int cells = 1;
+  // Parallel execution width. NOT part of the simulated configuration:
+  // results are bit-identical for any value. Clamped to [1, cells].
+  int shards = 1;
+  // Worker threads for the shard pool; <= 0 selects min(shards, the
+  // ParallelSweep default: AEGAEON_SWEEP_THREADS, else hardware
+  // concurrency). Fleets nested inside an outer ParallelSweep should size
+  // the outer pool with ParallelSweep::ThreadsForNested(shards).
+  int threads = 0;
+  // Latency of the fleet router -> cell hop; the conservative lookahead.
+  // Must be > 0 when cells > 1.
+  Duration dispatch_latency = 0.05;
+  // Reserved cross-cell channels (would tighten the lookahead when enabled;
+  // no fleet-level implementation yet).
+  bool cross_cell_kv = false;
+  bool cross_cell_autoscale = false;
+  // Every cell's configuration (instances per cell, memory sizing, ...).
+  AegaeonConfig cell;
+};
+
+// Pooled sanitizer + protocol health of a fleet run.
+struct FleetAudit {
+  uint64_t epochs = 0;
+  uint64_t checks = 0;          // SimSan checks across all cells (0 when off)
+  uint64_t violations = 0;      // SimSan violations across all cells
+  uint64_t sync_overruns = 0;   // cell shadow watermark crossed an epoch horizon
+};
+
+class ShardedFleet {
+ public:
+  ShardedFleet(FleetConfig config, const ModelRegistry& registry, const GpuSpec& gpu_spec);
+  ~ShardedFleet();
+
+  ShardedFleet(const ShardedFleet&) = delete;
+  ShardedFleet& operator=(const ShardedFleet&) = delete;
+
+  // Serves the whole trace (time-sorted arrivals) to completion. Returns
+  // fleet-pooled metrics: per-request aggregates merged across cells,
+  // per-shard host cost in shard_sim, and the epoch count in sync_epochs.
+  RunMetrics Run(const std::vector<ArrivalEvent>& trace);
+
+  int cells() const { return static_cast<int>(cells_.size()); }
+  int shards() const { return sharded_.shards(); }
+  int total_gpus() const;
+  // Epoch length; kTimeNever when cells == 1 (single epoch, exact).
+  Duration lookahead() const { return lookahead_; }
+  // Conservative-sync epochs executed by the last Run.
+  uint64_t epochs() const { return sharded_.epochs(); }
+
+  AegaeonCluster& cell(int index) { return *cells_[static_cast<size_t>(index)]; }
+  const AegaeonCluster& cell(int index) const { return *cells_[static_cast<size_t>(index)]; }
+  // Per-cell metrics of the last Run, indexed by cell.
+  const std::vector<RunMetrics>& cell_metrics() const { return cell_metrics_; }
+  // Arrivals routed to each cell by the dispatcher, indexed by cell.
+  const std::vector<uint64_t>& routed() const { return routed_; }
+
+  FleetAudit audit() const;
+
+ private:
+  // Contiguous [begin, end) cell range owned by `shard`.
+  void ShardRange(int shard, int* begin, int* end) const;
+  // Serial barrier stage: routes every arrival in the next epoch window and
+  // returns its horizon (kTimeNever to request the final drain epoch).
+  TimePoint PlanEpoch();
+  // Routes one arrival to the least-outstanding cell (ties: lowest id).
+  int RouteArrival(const ArrivalEvent& event);
+  // Delivers the barrier's mailbox content into the target cells.
+  void DeliverMailboxes();
+
+  FleetConfig config_;
+  Duration lookahead_ = kTimeNever;
+  ShardedSim sharded_;
+  std::vector<std::unique_ptr<AegaeonCluster>> cells_;
+  // One checker per cell; shadow state follows the cell, not the thread.
+  std::vector<std::unique_ptr<simsan::SimSan>> simsan_;
+  EpochMailboxes<ArrivalEvent> mailboxes_;
+  std::vector<uint64_t> routed_;
+  std::vector<RunMetrics> cell_metrics_;
+
+  // Run-scoped dispatch state (serial barrier stage only).
+  const std::vector<ArrivalEvent>* trace_ = nullptr;
+  size_t next_arrival_ = 0;
+
+  // Incremented from parallel advances; the sum is order-independent.
+  std::atomic<uint64_t> sync_overruns_{0};
+};
+
+}  // namespace aegaeon
+
+#endif  // AEGAEON_CORE_FLEET_H_

@@ -72,7 +72,32 @@ class TransferEngine {
     // Control-plane time: index tracking and event manipulation (Fig. 14
     // "Control Overhead").
     Duration control_overhead = 0.0;
+
+    // Pools another engine's counters (fleet aggregation across cells).
+    Stats& operator+=(const Stats& other) {
+      swap_outs += other.swap_outs;
+      swap_ins += other.swap_ins;
+      bytes_out += other.bytes_out;
+      bytes_in += other.bytes_in;
+      control_overhead += other.control_overhead;
+      return *this;
+    }
   };
+
+  // Lower bound on the latency of migrating any KV handle across the
+  // inter-node fabric: even a single block takes its serialization time
+  // plus the per-op control cost. The sharded fleet uses this as the
+  // KV-migration channel latency in its conservative lookahead — no
+  // cross-cell migration can take effect sooner, so shards may safely run
+  // ahead by this much. `block_bytes` is the smallest registered KV block;
+  // `bandwidth` the fabric rate in bytes/sec.
+  static Duration MinMigrationLatency(double block_bytes, double bandwidth,
+                                      Duration control_cost_per_op) {
+    if (bandwidth <= 0.0) {
+      return kTimeNever;
+    }
+    return block_bytes / bandwidth + control_cost_per_op;
+  }
 
   // `control_cost_per_op`: modeled CPU cost of updating unified-cache
   // indices and creating/sharing events for one transfer.

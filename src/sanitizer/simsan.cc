@@ -79,10 +79,27 @@ SimSanReport SimSan::report() const {
 
 #if AEGAEON_SIMSAN_ENABLED
 
+namespace {
+
+// Set by ScopedInstance; hooks report here when non-null so a cell's shadow
+// state follows the cell across pool threads.
+thread_local SimSan* scoped_override = nullptr;
+
+}  // namespace
+
 SimSan& ThreadInstance() {
+  if (scoped_override != nullptr) {
+    return *scoped_override;
+  }
   thread_local SimSan instance;
   return instance;
 }
+
+ScopedInstance::ScopedInstance(SimSan& instance) : previous_(scoped_override) {
+  scoped_override = &instance;
+}
+
+ScopedInstance::~ScopedInstance() { scoped_override = previous_; }
 
 void NoteAllocatorName(const void* alloc, const std::string& name) {
   ThreadInstance().state().NameObject(alloc, name);

@@ -78,6 +78,33 @@ class SimSan {
   bool fatal_ = true;
 };
 
+// Redirects the calling thread's checker to `instance` for the scope's
+// lifetime, so every Note* hook reports there instead of the thread-local
+// default. The sharded fleet (core/fleet.h) gives each cell its own SimSan
+// and installs it around any code that constructs, advances, or tears down
+// the cell — shadow state then follows the *cell*, not the pool thread that
+// happens to run its epoch, keeping checks exact under work stealing.
+// Nestable; restores the previous redirection on destruction. Compiles to a
+// no-op when SimSan is off.
+class ScopedInstance {
+ public:
+#if AEGAEON_SIMSAN_ENABLED
+  explicit ScopedInstance(SimSan& instance);
+  ~ScopedInstance();
+#else
+  explicit ScopedInstance(SimSan& instance) { (void)instance; }
+  ~ScopedInstance() = default;
+#endif
+
+  ScopedInstance(const ScopedInstance&) = delete;
+  ScopedInstance& operator=(const ScopedInstance&) = delete;
+
+#if AEGAEON_SIMSAN_ENABLED
+ private:
+  SimSan* previous_;
+#endif
+};
+
 #if AEGAEON_SIMSAN_ENABLED
 
 // The per-thread checker every hook below reports into.

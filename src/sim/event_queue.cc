@@ -75,6 +75,52 @@ bool EventQueue::Cancel(EventId id) {
   return true;
 }
 
+std::vector<EventQueue::Pending> EventQueue::Drain() {
+  // Order by (when, seq) — the exact order PopAndRun would have fired them.
+  std::sort(heap_.begin(), heap_.end(), [](const Entry& a, const Entry& b) {
+    if (a.when != b.when) {
+      return a.when < b.when;
+    }
+    return a.seq < b.seq;
+  });
+  std::vector<Pending> out;
+  out.reserve(live_count_);
+  for (const Entry& entry : heap_) {
+    Slot& slot = slots_[entry.slot];
+    if (slot.state == SlotState::kLive) {
+      out.push_back(Pending{entry.when, std::move(slot.cb)});
+    }
+    // Releasing bumps the generation, so ids issued before the drain are
+    // stale even once the slot is handed out again.
+    ReleaseSlot(entry.slot);
+  }
+  heap_.clear();
+  live_count_ = 0;
+  tombstones_ = 0;
+  return out;
+}
+
+void EventQueue::Merge(std::vector<Pending> events) {
+  if (events.empty()) {
+    return;
+  }
+  // Below this, per-event sifting beats a full rebuild.
+  const bool bulk = events.size() * 2 >= heap_.size() + events.size();
+  heap_.reserve(heap_.size() + events.size());
+  for (Pending& event : events) {
+    uint32_t slot = AcquireSlot();
+    slots_[slot].cb = std::move(event.cb);
+    heap_.push_back(Entry{event.when, next_seq_++, slot});
+    if (!bulk) {
+      std::push_heap(heap_.begin(), heap_.end(), Later);
+    }
+    ++live_count_;
+  }
+  if (bulk) {
+    std::make_heap(heap_.begin(), heap_.end(), Later);
+  }
+}
+
 void EventQueue::Compact() {
   size_t kept = 0;
   for (const Entry& entry : heap_) {

@@ -50,6 +50,28 @@ class EventQueue {
   // or was already cancelled.
   bool Cancel(EventId id);
 
+  // A pending event extracted by Drain() or inserted by Merge().
+  struct Pending {
+    TimePoint when = 0.0;
+    Callback cb;
+  };
+
+  // --- Epoch boundaries (sharded simulation) ----------------------------
+  // Extracts every live event in (when, seq) order and empties the queue.
+  // Tombstones are discarded, every slot is released, and every generation
+  // is bumped, so EventIds issued before the drain are rejected by Cancel()
+  // even after their slots are reused — the invariant the sharded
+  // simulator's epoch rollovers rely on when moving events between queues.
+  std::vector<Pending> Drain();
+
+  // Bulk-schedules `events` in input order (FIFO tie-break preserved for
+  // equal timestamps). Equivalent to Push() per event but amortizes the
+  // heap maintenance: once the batch rivals the live heap it appends
+  // everything and rebuilds once instead of sifting per event. Safe at
+  // epoch boundaries: tombstones pending compaction are untouched and
+  // outstanding EventIds stay valid.
+  void Merge(std::vector<Pending> events);
+
   bool empty() const { return live_count_ == 0; }
   size_t size() const { return live_count_; }
 

@@ -1,0 +1,97 @@
+// Deterministic per-epoch mailboxes for the sharded simulator.
+//
+// Under the conservative time-sync protocol (see sharded_sim.h), cross-shard
+// events produced during an epoch are not delivered directly — they are
+// posted here and handed over at the next barrier, where the serial stage
+// collects every pending event in (time, source shard, sequence) order. The
+// three-part key makes delivery order a pure function of the simulation
+// content: `time` orders causally, `source shard` breaks cross-shard ties
+// the same way no matter which host thread produced the event first, and
+// `seq` (per-source, assigned in post order) preserves each producer's own
+// FIFO order. Because shards only post during the parallel phase and only
+// collect during the serial barrier stage, the mailboxes need no locking.
+
+#ifndef AEGAEON_SIM_MAILBOX_H_
+#define AEGAEON_SIM_MAILBOX_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace aegaeon {
+
+template <typename Payload>
+struct CrossShardEvent {
+  TimePoint time = 0.0;
+  uint32_t source_shard = 0;  // posting shard; fleet-level stages use Dispatcher()
+  uint64_t seq = 0;           // per-source post order
+  int target = 0;             // receiving shard (or cell, at the fleet level)
+  Payload payload{};
+};
+
+template <typename Payload>
+class EpochMailboxes {
+ public:
+  using Event = CrossShardEvent<Payload>;
+
+  // One mailbox per shard plus one for the barrier-stage dispatcher, which
+  // acts as its own (serial) source of cross-shard events.
+  explicit EpochMailboxes(int shards)
+      : pending_(static_cast<size_t>(shards) + 1), next_seq_(static_cast<size_t>(shards) + 1, 0) {}
+
+  // The source id of the serial barrier stage.
+  uint32_t Dispatcher() const { return static_cast<uint32_t>(pending_.size() - 1); }
+
+  // Posts an event from `source_shard` (or Dispatcher()) to `target`.
+  // Callable only from the source's own execution context: the parallel
+  // phase for shards, the barrier stage for the dispatcher.
+  void Post(uint32_t source_shard, int target, TimePoint time, Payload payload) {
+    Event event;
+    event.time = time;
+    event.source_shard = source_shard;
+    event.seq = next_seq_[source_shard]++;
+    event.target = target;
+    event.payload = std::move(payload);
+    pending_[source_shard].push_back(std::move(event));
+  }
+
+  // Drains every pending event in (time, source shard, seq) order. Barrier
+  // stage only: all shards must be quiescent.
+  std::vector<Event> Collect() {
+    std::vector<Event> all;
+    for (std::vector<Event>& box : pending_) {
+      all.insert(all.end(), std::make_move_iterator(box.begin()),
+                 std::make_move_iterator(box.end()));
+      box.clear();
+    }
+    std::sort(all.begin(), all.end(), [](const Event& a, const Event& b) {
+      if (a.time != b.time) {
+        return a.time < b.time;
+      }
+      if (a.source_shard != b.source_shard) {
+        return a.source_shard < b.source_shard;
+      }
+      return a.seq < b.seq;
+    });
+    return all;
+  }
+
+  bool empty() const {
+    for (const std::vector<Event>& box : pending_) {
+      if (!box.empty()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::vector<std::vector<Event>> pending_;  // indexed by source
+  std::vector<uint64_t> next_seq_;
+};
+
+}  // namespace aegaeon
+
+#endif  // AEGAEON_SIM_MAILBOX_H_

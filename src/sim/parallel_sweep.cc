@@ -1,5 +1,6 @@
 #include "sim/parallel_sweep.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <string>
 #include <thread>
@@ -16,6 +17,10 @@ int ParallelSweep::DefaultThreads() {
   }
   unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+int ParallelSweep::ThreadsForNested(int intra) {
+  return std::max(1, DefaultThreads() / std::max(1, intra));
 }
 
 ParallelSweep::ParallelSweep(int threads)

@@ -35,6 +35,12 @@ class ParallelSweep {
   // AEGAEON_SWEEP_THREADS override, else hardware_concurrency(), min 1.
   static int DefaultThreads();
 
+  // Worker budget per sweep task when each task is itself `intra`-way
+  // parallel (a sharded fleet run inside a sweep): the default budget
+  // divided by the intra-run width, min 1. Keeps total thread count at the
+  // core budget instead of multiplying the two levels of parallelism.
+  static int ThreadsForNested(int intra);
+
   // Runs every task across the pool; blocks until all complete and returns
   // their results in input order. T must be default-constructible and
   // movable. If a task throws, the first exception is rethrown here after

@@ -1,0 +1,110 @@
+// ShardedSim: a conservative-time parallel executor for sharded simulations.
+//
+// The fleet (src/core/fleet.h) partitions a large GPU pool into cells and
+// groups the cells into K shards. Each shard owns its own event queues and
+// advances independently — but only up to a horizon no shard may cross, the
+// *conservative lookahead*: the minimum latency of any channel through which
+// one shard can affect another (request dispatch, KV migration, autoscale
+// decisions). Anything a shard does before the horizon cannot be observed by
+// another shard until at least one lookahead later, so running the shards in
+// parallel within an epoch cannot reorder observable events.
+//
+// ShardedSim is the executor for that protocol. Run() alternates two stages:
+//
+//   1. a serial *barrier stage* (`plan`) that runs with every shard quiescent
+//      at the barrier time — it delivers cross-shard mailboxes, makes
+//      dispatch decisions, and picks the next horizon;
+//   2. a parallel *advance stage* (`advance`) that runs every shard on the
+//      thread pool up to that horizon.
+//
+// Determinism: the barrier stage is serial, and the advance stage gives each
+// shard exclusive ownership of its state, so host scheduling decides only
+// *when* a shard's epoch executes, never what it computes. Results are
+// therefore bit-identical for any shard count and any worker count (see
+// DESIGN.md §8 for the full argument).
+//
+// Worker scheduling: each epoch submits one task per shard and waits for all
+// of them. Submitting tasks rather than pinning shards to persistent barrier-
+// synced threads means the protocol is safe at any pool size — with fewer
+// workers than shards the tasks simply queue, with no risk of a barrier
+// deadlock.
+
+#ifndef AEGAEON_SIM_SHARDED_SIM_H_
+#define AEGAEON_SIM_SHARDED_SIM_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/thread_pool.h"
+#include "sim/time.h"
+
+namespace aegaeon {
+
+// Latencies of the channels through which one shard can affect another.
+// kTimeNever marks a channel disabled (no such interaction in this
+// configuration). The conservative lookahead is the minimum enabled latency;
+// if every channel is disabled the shards never interact and a single
+// unbounded epoch is exact.
+struct CrossShardChannels {
+  Duration dispatch = kTimeNever;      // fleet dispatcher -> cell injection
+  Duration kv_migration = kTimeNever;  // cross-cell KV transfer (reserved)
+  Duration autoscale = kTimeNever;     // fleet-level scaling loop (reserved)
+};
+
+// Minimum enabled channel latency; kTimeNever when all channels are
+// disabled. A zero-latency enabled channel is a configuration error (the
+// conservative protocol would make no progress) and is clamped to the
+// smallest positive epoch the caller provides via `floor`.
+Duration ConservativeLookahead(const CrossShardChannels& channels, Duration floor = 1e-6);
+
+class ShardedSim {
+ public:
+  // `threads` <= 0 selects min(shards, ParallelSweep::DefaultThreads()).
+  // Callers running fleets inside an outer ParallelSweep should size the
+  // outer pool with ParallelSweep::ThreadsForNested(shards) and pass
+  // `shards` here, splitting cores between inter-run and intra-run
+  // parallelism instead of oversubscribing.
+  explicit ShardedSim(int shards, int threads = 0);
+
+  ShardedSim(const ShardedSim&) = delete;
+  ShardedSim& operator=(const ShardedSim&) = delete;
+
+  int shards() const { return shards_; }
+  int thread_count() const { return pool_.size(); }
+
+  // Epochs executed across all Run() calls so far.
+  uint64_t epochs() const { return epochs_; }
+
+  // Host-side cost per shard: events processed by that shard's advance
+  // stages and the wall-clock time they took. Wall time is measured inside
+  // the shard task, so it excludes queueing delay when shards outnumber
+  // workers.
+  const std::vector<SimPerfCounters>& shard_perf() const { return shard_perf_; }
+
+  // Runs `fn(shard)` for every shard in parallel and blocks until all
+  // complete. One-shot phases (construction, teardown audits) use this
+  // directly; Run() uses it for every advance stage.
+  void Phase(const std::function<void(int)>& fn);
+
+  // Executes the epoch loop. `plan` is the serial barrier stage: it runs
+  // with all shards quiescent and returns the next epoch's horizon, or
+  // kTimeNever to request a final drain epoch (advance every shard until
+  // its queue is empty) after which the loop ends. `advance` runs on the
+  // pool with exclusive ownership of its shard; it must process events only
+  // up to the given horizon and return how many it processed. Returns the
+  // number of epochs executed by this call.
+  uint64_t Run(const std::function<TimePoint()>& plan,
+               const std::function<uint64_t(int, TimePoint)>& advance);
+
+ private:
+  int shards_;
+  ThreadPool pool_;
+  uint64_t epochs_ = 0;
+  std::vector<SimPerfCounters> shard_perf_;
+};
+
+}  // namespace aegaeon
+
+#endif  // AEGAEON_SIM_SHARDED_SIM_H_

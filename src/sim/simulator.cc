@@ -22,6 +22,13 @@ EventId Simulator::After(Duration delay, EventQueue::Callback cb) {
   return At(now_ + std::max(delay, 0.0), std::move(cb));
 }
 
+void Simulator::ScheduleBatch(std::vector<EventQueue::Pending> batch) {
+  for (EventQueue::Pending& event : batch) {
+    event.when = std::max(event.when, now_);
+  }
+  queue_.Merge(std::move(batch));
+}
+
 uint64_t Simulator::Run() {
   auto start = std::chrono::steady_clock::now();
   uint64_t processed = 0;

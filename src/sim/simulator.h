@@ -24,6 +24,12 @@ struct SimPerfCounters {
   double EventsPerSec() const {
     return wall_seconds > 0.0 ? static_cast<double>(events_processed) / wall_seconds : 0.0;
   }
+
+  SimPerfCounters& operator+=(const SimPerfCounters& other) {
+    events_processed += other.events_processed;
+    wall_seconds += other.wall_seconds;
+    return *this;
+  }
 };
 
 class Simulator {
@@ -41,6 +47,13 @@ class Simulator {
 
   // Schedules `cb` after `delay` seconds (negative delays clamp to zero).
   EventId After(Duration delay, EventQueue::Callback cb);
+
+  // Bulk-schedules a batch in input order (FIFO tie-break preserved),
+  // clamping past timestamps to Now() like At(). Used by trace loading and
+  // the sharded simulator's epoch-boundary mailbox delivery, where pushing
+  // thousands of arrivals one heap sift at a time would dominate the
+  // barrier stage.
+  void ScheduleBatch(std::vector<EventQueue::Pending> batch);
 
   bool Cancel(EventId id) { return queue_.Cancel(id); }
 

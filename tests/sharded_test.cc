@@ -1,0 +1,291 @@
+// Tests for the sharded fleet simulation (core/fleet.h, sim/sharded_sim.h,
+// sim/mailbox.h): conservative-sync determinism, serial equivalence, load
+// balancing, and the SimSan per-cell audit.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/cluster.h"
+#include "core/fleet.h"
+#include "hw/gpu_spec.h"
+#include "model/registry.h"
+#include "sim/mailbox.h"
+#include "sim/sharded_sim.h"
+#include "workload/dataset.h"
+#include "workload/generator.h"
+
+namespace aegaeon {
+namespace {
+
+AegaeonConfig SmallCell() {
+  AegaeonConfig config;
+  config.prefill_instances = 1;
+  config.decode_instances = 2;
+  return config;
+}
+
+std::vector<ArrivalEvent> FleetTrace(const ModelRegistry& registry, double rps, double horizon,
+                                     uint64_t seed = 7) {
+  return GeneratePoisson(registry, rps, horizon, Dataset::ShareGpt(), seed);
+}
+
+// Everything that makes two runs "the same results": full bitwise equality
+// of the simulated outputs. Host-measured values (sim/shard_sim wall
+// clocks) are deliberately excluded.
+void ExpectBitIdentical(const RunMetrics& a, const RunMetrics& b) {
+  EXPECT_EQ(a.total_requests, b.total_requests);
+  EXPECT_EQ(a.completed_requests, b.completed_requests);
+  EXPECT_EQ(a.tokens_total, b.tokens_total);
+  EXPECT_EQ(a.tokens_met, b.tokens_met);
+  EXPECT_EQ(a.horizon, b.horizon);  // exact: same double or bust
+  EXPECT_EQ(a.rejected_requests, b.rejected_requests);
+  EXPECT_EQ(a.shed_requests, b.shed_requests);
+  EXPECT_EQ(a.slo_good_requests, b.slo_good_requests);
+  EXPECT_EQ(a.breakdown.prefill_wait, b.breakdown.prefill_wait);
+  EXPECT_EQ(a.breakdown.prefill_exec, b.breakdown.prefill_exec);
+  EXPECT_EQ(a.breakdown.decode_wait, b.breakdown.decode_wait);
+  EXPECT_EQ(a.breakdown.decode_exec, b.breakdown.decode_exec);
+  EXPECT_EQ(a.breakdown.control_overhead, b.breakdown.control_overhead);
+  EXPECT_EQ(a.breakdown.data_overhead, b.breakdown.data_overhead);
+  ASSERT_EQ(a.ttft_samples.size(), b.ttft_samples.size());
+  for (size_t i = 0; i < a.ttft_samples.size(); ++i) {
+    EXPECT_EQ(a.ttft_samples[i], b.ttft_samples[i]) << "ttft sample " << i;
+  }
+  ASSERT_EQ(a.request_latency_samples.size(), b.request_latency_samples.size());
+  for (size_t i = 0; i < a.request_latency_samples.size(); ++i) {
+    EXPECT_EQ(a.request_latency_samples[i], b.request_latency_samples[i]) << "latency " << i;
+  }
+  ASSERT_EQ(a.switch_latency_samples.size(), b.switch_latency_samples.size());
+  for (size_t i = 0; i < a.switch_latency_samples.size(); ++i) {
+    EXPECT_EQ(a.switch_latency_samples[i], b.switch_latency_samples[i]) << "switch " << i;
+  }
+  EXPECT_EQ(a.sim.events_processed, b.sim.events_processed);
+}
+
+TEST(MailboxTest, CollectOrdersByTimeSourceSeq) {
+  EpochMailboxes<int> boxes(3);
+  boxes.Post(1, 0, 5.0, 10);
+  boxes.Post(0, 1, 5.0, 20);   // same time, lower source -> first
+  boxes.Post(2, 2, 1.0, 30);   // earliest time -> very first
+  boxes.Post(0, 1, 5.0, 40);   // same (time, source), later seq -> after 20
+  boxes.Post(boxes.Dispatcher(), 0, 5.0, 50);  // dispatcher is the highest source id
+  auto events = boxes.Collect();
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(events[0].payload, 30);
+  EXPECT_EQ(events[1].payload, 20);
+  EXPECT_EQ(events[2].payload, 40);
+  EXPECT_EQ(events[3].payload, 10);
+  EXPECT_EQ(events[4].payload, 50);
+  EXPECT_TRUE(boxes.empty());
+  // A second collect is empty, and posting after a collect works.
+  EXPECT_TRUE(boxes.Collect().empty());
+  boxes.Post(0, 0, 9.0, 60);
+  EXPECT_FALSE(boxes.empty());
+  EXPECT_EQ(boxes.Collect().size(), 1u);
+}
+
+TEST(ConservativeLookaheadTest, MinOfEnabledChannels) {
+  CrossShardChannels none;
+  EXPECT_EQ(ConservativeLookahead(none), kTimeNever);
+  CrossShardChannels dispatch_only;
+  dispatch_only.dispatch = 0.05;
+  EXPECT_DOUBLE_EQ(ConservativeLookahead(dispatch_only), 0.05);
+  CrossShardChannels all;
+  all.dispatch = 0.05;
+  all.kv_migration = 0.002;
+  all.autoscale = 1.0;
+  EXPECT_DOUBLE_EQ(ConservativeLookahead(all), 0.002);
+  // A zero-latency channel clamps to the floor instead of stalling.
+  CrossShardChannels zero;
+  zero.dispatch = 0.0;
+  EXPECT_DOUBLE_EQ(ConservativeLookahead(zero, 1e-6), 1e-6);
+}
+
+TEST(ShardedSimTest, EpochLoopRunsPlanAndAdvance) {
+  ShardedSim sharded(4, 2);
+  int planned = 0;
+  std::vector<int> advances(4, 0);
+  uint64_t epochs = sharded.Run(
+      [&] {
+        ++planned;
+        return planned < 3 ? planned * 10.0 : kTimeNever;
+      },
+      [&](int shard, TimePoint horizon) {
+        (void)horizon;
+        advances[static_cast<size_t>(shard)]++;
+        return uint64_t{5};
+      });
+  EXPECT_EQ(epochs, 3u);
+  EXPECT_EQ(sharded.epochs(), 3u);
+  for (int count : advances) {
+    EXPECT_EQ(count, 3);
+  }
+  ASSERT_EQ(sharded.shard_perf().size(), 4u);
+  for (const SimPerfCounters& perf : sharded.shard_perf()) {
+    EXPECT_EQ(perf.events_processed, 15u);
+  }
+}
+
+// The golden equivalence: one cell, zero dispatch latency => the fleet is
+// exactly a plain AegaeonCluster::Run, request for request.
+TEST(ShardedFleetTest, SingleCellReproducesSerialClusterExactly) {
+  ModelRegistry registry = ModelRegistry::MidSizeMarket(8);
+  auto trace = FleetTrace(registry, 0.2, 120.0);
+
+  AegaeonCluster serial(SmallCell(), registry, GpuSpec::H800());
+  RunMetrics golden = serial.Run(trace);
+
+  FleetConfig config;
+  config.cells = 1;
+  config.shards = 1;
+  config.dispatch_latency = 0.0;  // cells == 1: channel disabled anyway
+  config.cell = SmallCell();
+  ShardedFleet fleet(config, registry, GpuSpec::H800());
+  RunMetrics metrics = fleet.Run(trace);
+
+  EXPECT_EQ(fleet.lookahead(), kTimeNever);
+  EXPECT_EQ(fleet.epochs(), 1u);  // one exact, unbounded epoch
+  ExpectBitIdentical(golden, metrics);
+  ASSERT_EQ(fleet.cell(0).requests().size(), serial.requests().size());
+  for (size_t i = 0; i < serial.requests().size(); ++i) {
+    const Request& a = serial.requests()[i];
+    const Request& b = fleet.cell(0).requests()[i];
+    EXPECT_EQ(a.arrival, b.arrival);
+    EXPECT_EQ(a.first_token_time, b.first_token_time);
+    EXPECT_EQ(a.completion, b.completion);
+    EXPECT_EQ(a.tokens_met, b.tokens_met);
+  }
+}
+
+// The tentpole determinism contract: for a fixed cell decomposition the
+// shard count is parallelism only — RunMetrics are bit-identical for
+// shards in {1, 2, 4, 8}.
+TEST(ShardedFleetTest, ResultsBitIdenticalAcrossShardCounts) {
+  ModelRegistry registry = ModelRegistry::MidSizeMarket(12);
+  auto trace = FleetTrace(registry, 1.0, 90.0, 11);
+
+  std::vector<RunMetrics> results;
+  std::vector<uint64_t> epoch_counts;
+  for (int shards : {1, 2, 4, 8}) {
+    FleetConfig config;
+    config.cells = 8;
+    config.shards = shards;
+    config.threads = 4;
+    config.cell = SmallCell();
+    ShardedFleet fleet(config, registry, GpuSpec::H800());
+    results.push_back(fleet.Run(trace));
+    epoch_counts.push_back(fleet.epochs());
+    EXPECT_EQ(fleet.shards(), shards);
+    EXPECT_EQ(static_cast<int>(results.back().shard_sim.size()), shards);
+  }
+  for (size_t i = 1; i < results.size(); ++i) {
+    ExpectBitIdentical(results[0], results[i]);
+    EXPECT_EQ(results[0].sync_epochs, results[i].sync_epochs);
+    EXPECT_EQ(epoch_counts[0], epoch_counts[i]);
+  }
+  EXPECT_GT(results[0].completed_requests, 50u);
+  EXPECT_GT(results[0].sync_epochs, 1u);
+}
+
+TEST(ShardedFleetTest, DispatcherBalancesLoadAcrossCells) {
+  ModelRegistry registry = ModelRegistry::MidSizeMarket(12);
+  auto trace = FleetTrace(registry, 1.0, 90.0, 13);
+  FleetConfig config;
+  config.cells = 4;
+  config.shards = 2;
+  config.cell = SmallCell();
+  ShardedFleet fleet(config, registry, GpuSpec::H800());
+  RunMetrics metrics = fleet.Run(trace);
+
+  uint64_t total_routed = 0;
+  uint64_t min_routed = ~uint64_t{0};
+  uint64_t max_routed = 0;
+  for (uint64_t routed : fleet.routed()) {
+    total_routed += routed;
+    min_routed = std::min(min_routed, routed);
+    max_routed = std::max(max_routed, routed);
+  }
+  EXPECT_EQ(total_routed, trace.size());
+  EXPECT_EQ(metrics.total_requests, trace.size());
+  // Least-outstanding routing across identical cells stays within a small
+  // factor of even; a broken snapshot would pile everything on cell 0.
+  EXPECT_GT(min_routed, 0u);
+  EXPECT_LT(max_routed, total_routed / 2);
+  // Per-cell metrics cover every cell and merge to the pooled totals.
+  ASSERT_EQ(fleet.cell_metrics().size(), 4u);
+  uint64_t merged = 0;
+  for (const RunMetrics& cell : fleet.cell_metrics()) {
+    merged += cell.total_requests;
+  }
+  EXPECT_EQ(merged, metrics.total_requests);
+}
+
+// Dispatch latency is simulated, not elided: every TTFT includes at least
+// the router hop, and the arrival timestamps stay client-observed.
+TEST(ShardedFleetTest, DispatchLatencyShowsUpInTtft) {
+  ModelRegistry registry = ModelRegistry::MidSizeMarket(6);
+  auto trace = FleetTrace(registry, 0.2, 60.0, 5);
+  FleetConfig config;
+  config.cells = 2;
+  config.shards = 2;
+  config.dispatch_latency = 0.5;  // exaggerated so it dominates noise
+  config.cell = SmallCell();
+  ShardedFleet fleet(config, registry, GpuSpec::H800());
+  RunMetrics metrics = fleet.Run(trace);
+  ASSERT_FALSE(metrics.ttft_samples.empty());
+  for (double ttft : metrics.ttft_samples) {
+    EXPECT_GE(ttft, 0.5);
+  }
+  EXPECT_DOUBLE_EQ(fleet.lookahead(), 0.5);
+}
+
+// The per-cell SimSan audit: a sharded run must be violation-free with
+// every check attributed, and no cell may overrun an epoch horizon. With
+// SimSan compiled out the checks are zero but the protocol audit
+// (epochs, overruns) still holds.
+TEST(ShardedFleetTest, AuditIsCleanUnderConservativeSync) {
+  ModelRegistry registry = ModelRegistry::MidSizeMarket(8);
+  auto trace = FleetTrace(registry, 0.5, 90.0, 3);
+  FleetConfig config;
+  config.cells = 4;
+  config.shards = 4;
+  config.threads = 2;
+  config.cell = SmallCell();
+  ShardedFleet fleet(config, registry, GpuSpec::H800());
+  RunMetrics metrics = fleet.Run(trace);
+  FleetAudit audit = fleet.audit();
+  EXPECT_EQ(audit.epochs, fleet.epochs());
+  EXPECT_EQ(audit.violations, 0u);
+  EXPECT_EQ(audit.sync_overruns, 0u);
+#if AEGAEON_SIMSAN_ENABLED
+  EXPECT_GT(audit.checks, 0u);
+#endif
+  EXPECT_EQ(metrics.sync_epochs, audit.epochs);
+  EXPECT_EQ(metrics.completed_requests, metrics.total_requests);
+}
+
+// Satellite: shard-level perf counters aggregate into the pooled RunMetrics.
+TEST(ShardedFleetTest, ShardPerfCountersSumToPooled) {
+  ModelRegistry registry = ModelRegistry::MidSizeMarket(8);
+  auto trace = FleetTrace(registry, 0.5, 60.0, 19);
+  FleetConfig config;
+  config.cells = 4;
+  config.shards = 2;
+  config.cell = SmallCell();
+  ShardedFleet fleet(config, registry, GpuSpec::H800());
+  RunMetrics metrics = fleet.Run(trace);
+  ASSERT_EQ(metrics.shard_sim.size(), 2u);
+  uint64_t shard_events = 0;
+  for (const SimPerfCounters& shard : metrics.shard_sim) {
+    shard_events += shard.events_processed;
+  }
+  // Pooled counters come from the cells (including FinishRun bookkeeping);
+  // shard counters cover the epoch advances. They must agree on the events
+  // processed during the run.
+  EXPECT_EQ(shard_events, metrics.sim.events_processed);
+  EXPECT_GT(shard_events, 0u);
+}
+
+}  // namespace
+}  // namespace aegaeon

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -187,6 +188,124 @@ TEST(EventQueueTest, BoundedMemoryOverScheduleCancelCycles) {
   EXPECT_EQ(queue.heap_size(), 0u);
 }
 
+TEST(EventQueueTest, DrainExtractsLiveEventsInFireOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.Push(3.0, [&] { order.push_back(3); });
+  queue.Push(1.0, [&] { order.push_back(1); });
+  EventId cancelled = queue.Push(2.0, [&] { order.push_back(2); });
+  queue.Push(1.0, [&] { order.push_back(11); });  // same time: FIFO after 1
+  ASSERT_TRUE(queue.Cancel(cancelled));
+  auto pending = queue.Drain();
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.heap_size(), 0u);
+  // Tombstones are discarded; live events come back in (when, seq) order —
+  // exactly the order PopAndRun would have fired them.
+  ASSERT_EQ(pending.size(), 3u);
+  EXPECT_EQ(pending[0].when, 1.0);
+  EXPECT_EQ(pending[1].when, 1.0);
+  EXPECT_EQ(pending[2].when, 3.0);
+  for (auto& p : pending) {
+    p.cb();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 11, 3}));
+}
+
+TEST(EventQueueTest, DrainInvalidatesIdsAcrossEpochRollovers) {
+  // Regression: epoch boundaries move events between queues via
+  // Drain()/Merge(). A cancellation id issued before a drain must stay
+  // invalid afterwards, even when its slot has been reused by merged
+  // events — otherwise a cross-epoch Cancel would kill the wrong event.
+  EventQueue queue;
+  EventId stale = queue.Push(1.0, [] {});
+  auto pending = queue.Drain();
+  ASSERT_EQ(pending.size(), 1u);
+  // The drained slot gets reused immediately by the merge; the pre-drain id
+  // must still be rejected (generation bump), not cancel the new tenant.
+  queue.Merge(std::move(pending));
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_FALSE(queue.Cancel(stale));
+  EXPECT_EQ(queue.size(), 1u);
+  // Several rollovers in a row keep the invariant.
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    EventId id = queue.Push(2.0 + epoch, [] {});
+    auto batch = queue.Drain();
+    queue.Merge(std::move(batch));
+    EXPECT_FALSE(queue.Cancel(id)) << "epoch " << epoch;
+  }
+  EXPECT_EQ(queue.size(), 5u);
+  // The post-merge events are real: they all fire.
+  int fired = 0;
+  while (!queue.empty()) {
+    queue.NextTime();
+    queue.PopAndRun();
+    ++fired;
+  }
+  EXPECT_EQ(fired, 5);
+}
+
+TEST(EventQueueTest, MergePreservesFifoAgainstExistingEvents) {
+  // Merged events must keep their input order on timestamp ties, both among
+  // themselves and against events already in the queue (existing first:
+  // they were scheduled earlier).
+  EventQueue queue;
+  std::vector<int> order;
+  queue.Push(1.0, [&] { order.push_back(1); });
+  std::vector<EventQueue::Pending> batch;
+  for (int i = 2; i <= 4; ++i) {
+    EventQueue::Pending p;
+    p.when = 1.0;
+    p.cb = [&order, i] { order.push_back(i); };
+    batch.push_back(std::move(p));
+  }
+  queue.Merge(std::move(batch));
+  EXPECT_EQ(queue.size(), 4u);
+  while (!queue.empty()) {
+    queue.PopAndRun();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, MergeSmallBatchIntoLargeHeapSifts) {
+  // Exercise both Merge strategies: per-event sift (small batch, large
+  // heap) and bulk rebuild (batch rivals the heap).
+  EventQueue queue;
+  std::vector<double> fired;
+  for (int i = 0; i < 100; ++i) {
+    double when = static_cast<double>(i) * 2.0;
+    queue.Push(when, [&fired, when] { fired.push_back(when); });
+  }
+  std::vector<EventQueue::Pending> small;
+  EventQueue::Pending odd;
+  odd.when = 3.0;
+  odd.cb = [&fired] { fired.push_back(3.0); };
+  small.push_back(std::move(odd));
+  queue.Merge(std::move(small));  // 1 vs 100: sift path
+  EXPECT_EQ(queue.size(), 101u);
+  while (!queue.empty()) {
+    queue.PopAndRun();
+  }
+  ASSERT_EQ(fired.size(), 101u);
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+}
+
+TEST(SimulatorTest, ScheduleBatchClampsPastTimestamps) {
+  Simulator sim;
+  std::vector<double> seen;
+  sim.At(5.0, [&] { seen.push_back(5.0); });
+  sim.Run();
+  EXPECT_EQ(sim.Now(), 5.0);
+  std::vector<EventQueue::Pending> batch;
+  EventQueue::Pending past;
+  past.when = 1.0;  // before Now(): must clamp like At()
+  past.cb = [&seen, &sim] { seen.push_back(sim.Now()); };
+  batch.push_back(std::move(past));
+  sim.ScheduleBatch(std::move(batch));
+  sim.Run();
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[1], 5.0);
+}
+
 TEST(ThreadPoolTest, RunsAllTasksAcrossWorkers) {
   ThreadPool pool(4);
   std::atomic<int> count{0};
@@ -220,6 +339,19 @@ TEST(ParallelSweepTest, ThreadCountEnvOverride) {
   EXPECT_EQ(ParallelSweep::DefaultThreads(), 3);
   ASSERT_EQ(setenv("AEGAEON_SWEEP_THREADS", "not-a-number", 1), 0);
   EXPECT_GE(ParallelSweep::DefaultThreads(), 1);
+  ASSERT_EQ(unsetenv("AEGAEON_SWEEP_THREADS"), 0);
+}
+
+TEST(ParallelSweepTest, ThreadsForNestedSplitsTheDefaultBudget) {
+  // An outer sweep whose tasks each run `intra`-wide inner parallelism
+  // (e.g. a sharded fleet) gets the default budget divided by intra,
+  // never dropping below one worker.
+  ASSERT_EQ(setenv("AEGAEON_SWEEP_THREADS", "8", 1), 0);
+  EXPECT_EQ(ParallelSweep::ThreadsForNested(1), 8);
+  EXPECT_EQ(ParallelSweep::ThreadsForNested(4), 2);
+  EXPECT_EQ(ParallelSweep::ThreadsForNested(8), 1);
+  EXPECT_EQ(ParallelSweep::ThreadsForNested(100), 1);
+  EXPECT_EQ(ParallelSweep::ThreadsForNested(0), 8);  // non-positive: no split
   ASSERT_EQ(unsetenv("AEGAEON_SWEEP_THREADS"), 0);
 }
 

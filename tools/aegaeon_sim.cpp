@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -24,6 +25,7 @@
 #include "baselines/serverless_llm.h"
 #include "baselines/unified.h"
 #include "core/cluster.h"
+#include "core/fleet.h"
 #include "hw/gpu_spec.h"
 #include "model/registry.h"
 #include "workload/dataset.h"
@@ -52,6 +54,9 @@ struct Options {
   bool dry_run = false;
   int nodes = 1;
   int residents = 1;
+  int cells = 1;
+  int shards = 1;
+  double dispatch_latency = 0.05;
   bool per_model = false;
   std::string json_out;
 };
@@ -75,6 +80,11 @@ void Usage() {
       "  --timeline F   write a Chrome trace of instance activity (aegaeon only)\n"
       "  --nodes N      physical nodes the Aegaeon pool spans (default 1)\n"
       "  --residents N  co-resident models per instance (hybrid mode; default 1)\n"
+      "  --cells N      Aegaeon serving cells in the fleet (default 1; >1 runs the\n"
+      "                 sharded fleet executor with a fleet dispatcher)\n"
+      "  --shards N     parallel shards for the fleet executor (default 1; results\n"
+      "                 are bit-identical for any value)\n"
+      "  --dispatch-latency S  fleet router -> cell hop in seconds (default 0.05)\n"
       "  --per-model    print a per-model quality report\n"
       "  --json F       write headline metrics as JSON\n"
       "  --dry-run      generate/save the trace and exit without serving\n");
@@ -156,6 +166,12 @@ bool ParseArgs(int argc, char** argv, Options& opts) {
       opts.nodes = std::atoi(next("--nodes"));
     } else if (arg == "--residents") {
       opts.residents = std::atoi(next("--residents"));
+    } else if (arg == "--cells") {
+      opts.cells = std::atoi(next("--cells"));
+    } else if (arg == "--shards") {
+      opts.shards = std::atoi(next("--shards"));
+    } else if (arg == "--dispatch-latency") {
+      opts.dispatch_latency = std::atof(next("--dispatch-latency"));
     } else if (arg == "--per-model") {
       opts.per_model = true;
     } else if (arg == "--json") {
@@ -169,6 +185,14 @@ bool ParseArgs(int argc, char** argv, Options& opts) {
   }
   if (opts.models <= 0 || opts.rps <= 0.0 || opts.horizon <= 0.0) {
     std::fprintf(stderr, "--models, --rps, and --horizon must be positive\n");
+    return false;
+  }
+  if (opts.cells < 1 || opts.shards < 1) {
+    std::fprintf(stderr, "--cells and --shards must be >= 1\n");
+    return false;
+  }
+  if (opts.cells > 1 && opts.dispatch_latency <= 0.0) {
+    std::fprintf(stderr, "--dispatch-latency must be > 0 when --cells > 1\n");
     return false;
   }
   return true;
@@ -238,7 +262,48 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  if (opts.system == "aegaeon") {
+  if (opts.system == "aegaeon" && (opts.cells > 1 || opts.shards > 1)) {
+    // Fleet path: a pool of identical Aegaeon cells behind a fleet
+    // dispatcher, advanced by the sharded conservative-sync executor.
+    FleetConfig config;
+    config.cells = opts.cells;
+    config.shards = opts.shards;
+    config.dispatch_latency = opts.dispatch_latency;
+    config.cell.prefill_instances = opts.prefill;
+    config.cell.decode_instances = opts.decode;
+    config.cell.nodes = opts.nodes;
+    config.cell.resident_models = opts.residents;
+    if (!opts.timeline.empty()) {
+      std::fprintf(stderr, "--timeline is not supported with --cells/--shards; ignoring\n");
+    }
+    ShardedFleet fleet(config, registry, gpu);
+    RunMetrics metrics = fleet.Run(trace);
+    PrintMetrics(opts.system, metrics);
+    std::printf("fleet:               %d cells x %d GPUs, %d shard(s), %lu sync epochs\n",
+                fleet.cells(), opts.prefill + opts.decode, fleet.shards(),
+                static_cast<unsigned long>(fleet.epochs()));
+    FleetAudit audit = fleet.audit();
+    if (audit.checks > 0 || audit.sync_overruns > 0) {
+      std::printf("fleet audit:         %lu checks, %lu violations, %lu sync overruns\n",
+                  static_cast<unsigned long>(audit.checks),
+                  static_cast<unsigned long>(audit.violations),
+                  static_cast<unsigned long>(audit.sync_overruns));
+    }
+    if (opts.per_model) {
+      std::deque<Request> pooled;
+      for (int c = 0; c < fleet.cells(); ++c) {
+        const auto& cell_requests = fleet.cell(c).requests();
+        pooled.insert(pooled.end(), cell_requests.begin(), cell_requests.end());
+      }
+      std::printf("\n");
+      PrintPerModelReport(std::cout, BuildPerModelReport(pooled, registry));
+    }
+    if (!opts.json_out.empty()) {
+      std::ofstream json(opts.json_out);
+      WriteMetricsJson(json, metrics);
+      std::printf("metrics JSON written to %s\n", opts.json_out.c_str());
+    }
+  } else if (opts.system == "aegaeon") {
     AegaeonConfig config;
     config.prefill_instances = opts.prefill;
     config.decode_instances = opts.decode;

@@ -14,6 +14,10 @@
 #      gettimeofday) — simulated time must come from the event queue.
 #   3. bare rand()/srand() — all randomness must flow through sim/random.h
 #      (seeded, engine-stable SplitMix/xoshiro).
+#   4. thread_local state — the sharded fleet executor moves cells across
+#      pool threads between epochs, so per-thread state silently decouples
+#      from the simulated entity it belongs to. Scope state to the cell
+#      (see simsan::ScopedInstance) instead.
 #
 # A file:line may be allowlisted below with a justification; everything
 # else fails the build. Run from anywhere; exits non-zero on findings.
@@ -33,6 +37,14 @@ ALLOWLIST=(
   # simulator.cc times the *host* cost of a run for SimPerf reports
   # (events/s); simulated time comes exclusively from the event queue.
   "src/sim/simulator.cc:std::chrono::steady_clock"
+  # sharded_sim.cc times the *host* cost of each shard's epoch advance for
+  # the per-shard SimPerfCounters; epoch horizons come from the serial
+  # barrier stage, never from this clock.
+  "src/sim/sharded_sim.cc:std::chrono::steady_clock"
+  # simsan.cc keeps per-thread shadow-checker instances; ScopedInstance
+  # redirects them so shadow state follows the simulated cell, not the
+  # host thread. Never feeds simulated time or scheduling.
+  "src/sanitizer/simsan.cc:thread_local SimSan"
 )
 
 allowlisted() {
@@ -81,6 +93,8 @@ scan '(^|[^a-zA-Z0-9_:.])(time|gettimeofday)\s*\(' \
   "wall-clock read (simulated time must come from the event queue)"
 scan '(^|[^a-zA-Z0-9_:.])s?rand\s*\(' \
   "bare rand()/srand() (use the seeded engines in sim/random.h)"
+scan '(^|[^a-zA-Z0-9_])thread_local([^a-zA-Z0-9_]|$)' \
+  "thread_local state (sharded execution moves work across threads; scope state to the simulated entity instead)"
 
 if [[ $status -eq 0 ]]; then
   echo "determinism-lint: OK (no nondeterministic constructs in ${SRC_DIRS[*]})"

@@ -17,12 +17,13 @@ REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${1:-$REPO_ROOT/build-bench}"
 BASELINE="$REPO_ROOT/tools/bench_baseline.json"
 RESULT="$BUILD_DIR/BENCH_sim_perf.json"
+FLEET_RESULT="$BUILD_DIR/BENCH_fleet_scale.json"
 MAX_REGRESSION_PCT=20
 
 echo "== Configuring Release build in $BUILD_DIR"
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release > /dev/null
 cmake --build "$BUILD_DIR" -j --target bench_sim_perf bench_fig13_stricter_slos \
-  bench_overload > /dev/null
+  bench_overload bench_fleet_scale > /dev/null
 
 echo "== Running bench_sim_perf"
 "$BUILD_DIR/bench/bench_sim_perf" "$RESULT"
@@ -36,6 +37,11 @@ echo "== Running bench_overload (serving-proxy goodput gate)"
 # Exits nonzero unless the proxy strictly improves goodput at 2x load for
 # Aegaeon and the ServerlessLLM baseline.
 "$BUILD_DIR/bench/bench_overload"
+
+echo
+echo "== Running bench_fleet_scale (sharded fleet executor)"
+# Exits nonzero if results diverge across shard counts.
+"$BUILD_DIR/bench/bench_fleet_scale" "$FLEET_RESULT"
 
 json_field() {  # json_field <file> <key>  — first "key": <number> match
   sed -n "s/.*\"$2\": *\([0-9.]*\).*/\1/p" "$1" | head -1
@@ -79,6 +85,44 @@ if awk -v n="$cores" 'BEGIN { exit !(n >= 4) }'; then
   echo "   sweep speedup: ${speedup}x on ${cores} cores (>= 3x required)"
 else
   echo "   sweep speedup: ${speedup}x on ${cores} core(s) (3x gate requires >= 4 cores; skipped)"
+fi
+
+# --- Fleet-scale gate -------------------------------------------------------
+# Determinism is a hard invariant: results must be bit-identical across shard
+# counts on every machine. Throughput uses the same ratio normalization as
+# the queue gate (single-shard fleet eps vs an in-process 16-GPU reference),
+# and the >=3x 8-shard speedup at >=512 GPUs only applies on >=4 cores.
+fleet_identical=$(sed -n 's/.*"identical_results": *\(true\|false\).*/\1/p' "$FLEET_RESULT")
+fleet_ratio=$(json_field "$FLEET_RESULT" fleet_ratio)
+fleet_baseline_ratio=$(json_field "$BASELINE" fleet_ratio)
+fleet_speedup=$(json_field "$FLEET_RESULT" best_large_pool_speedup)
+
+echo
+echo "== Fleet-scale gate"
+echo "   fleet/reference throughput ratio: current=${fleet_ratio} baseline=${fleet_baseline_ratio}" \
+     "(max regression ${MAX_REGRESSION_PCT}%)"
+
+if [ "$fleet_identical" != "true" ]; then
+  echo "FAIL: sharded fleet diverged across shard counts" >&2
+  exit 1
+fi
+
+ok=$(awk -v c="$fleet_ratio" -v b="$fleet_baseline_ratio" -v m="$MAX_REGRESSION_PCT" \
+  'BEGIN { print (c >= b * (1 - m / 100.0)) ? "yes" : "no" }')
+if [ "$ok" != "yes" ]; then
+  echo "FAIL: fleet throughput ratio regressed more than ${MAX_REGRESSION_PCT}% vs baseline" >&2
+  exit 1
+fi
+
+if awk -v n="$cores" 'BEGIN { exit !(n >= 4) }'; then
+  if ! awk -v s="$fleet_speedup" 'BEGIN { exit !(s >= 3.0) }'; then
+    echo "FAIL: fleet 8-shard speedup ${fleet_speedup}x < 3x at >=512 GPUs on ${cores} cores" >&2
+    exit 1
+  fi
+  echo "   fleet 8-shard speedup at >=512 GPUs: ${fleet_speedup}x on ${cores} cores (>= 3x required)"
+else
+  echo "   fleet 8-shard speedup at >=512 GPUs: ${fleet_speedup}x on ${cores} core(s)" \
+       "(3x gate requires >= 4 cores; skipped)"
 fi
 
 echo "PASS"

@@ -1,0 +1,165 @@
+// Capacity-planner gate: on a mixed chat+summarize market the certified
+// heterogeneous plan must be at least 10% cheaper than the best replay-
+// bisected homogeneous pool at the reference rate, and the whole pipeline
+// must be bit-identical across repeated runs and sweep worker counts.
+//
+// The scenario is the regime the Melange formulation targets: chat
+// services (decode-heavy, favors the high-HBM H20) interleaved with
+// summarization services (prefill-heavy, favors the high-FLOPS H800), so
+// no single GPU type is cost-efficient for the whole market.
+//
+// Usage: bench_planner [result.json]
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "e2e_common.h"
+#include "planner/planner.h"
+
+using namespace aegaeon;
+using namespace aegaeon_bench;
+
+namespace {
+
+constexpr double kPlanHorizon = 600.0;
+constexpr double kTarget = 0.90;
+constexpr int kModels = 12;
+constexpr double kReferenceRps = 1.0;  // per model
+
+struct PlanPoint {
+  double rps = 0.0;
+  bool certified = false;
+  double hetero_cost = 0.0;
+  double attainment = 0.0;
+  double cost_per_1k = 0.0;
+  std::vector<int> counts;
+  // Best homogeneous pool meeting the same target, by replay bisection;
+  // -1 when no type is feasible.
+  double best_homo_cost = -1.0;
+  std::string best_homo_name;
+};
+
+std::vector<GpuOption> PlannerGpus() {
+  GpuOption h800;
+  h800.spec = GpuSpec::H800();
+  GpuOption h20;
+  h20.spec = GpuSpec::H20();
+  return {h800, h20};
+}
+
+PlanPoint RunPoint(double rps) {
+  PlanPoint point;
+  point.rps = rps;
+  ModelRegistry registry = ModelRegistry::MidSizeMarket(kModels);
+  std::vector<ArrivalEvent> trace = GenerateMixedPoisson(
+      registry, rps, kPlanHorizon, Dataset::ShareGpt(), Dataset::Summarize(), kSeed);
+
+  Planner planner(registry, PlannerGpus());
+  PlannerOptions options;
+  options.target_attainment = kTarget;
+  CertifiedPlan result = planner.Solve(trace, kPlanHorizon, options);
+  point.certified = result.certified;
+  point.hetero_cost = result.plan.cost_per_hour;
+  point.attainment = result.replay.SloAttainment();
+  point.cost_per_1k = result.replay.CostPer1kTokens();
+  point.counts = result.plan.counts;
+
+  for (const GpuOption& option : PlannerGpus()) {
+    int gpus = Planner::MinHomogeneousGpus(registry, option.spec, trace, kTarget,
+                                           option.max_count);
+    if (gpus < 0) {
+      continue;
+    }
+    double cost = gpus * option.spec.cost_per_hour;
+    if (point.best_homo_cost < 0.0 || cost < point.best_homo_cost) {
+      point.best_homo_cost = cost;
+      point.best_homo_name = option.spec.name + " x" + std::to_string(gpus);
+    }
+  }
+  return point;
+}
+
+bool SamePoint(const PlanPoint& a, const PlanPoint& b) {
+  return a.certified == b.certified && a.hetero_cost == b.hetero_cost &&
+         a.attainment == b.attainment && a.counts == b.counts &&
+         a.best_homo_cost == b.best_homo_cost;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<double> rates = {0.4, 0.7, kReferenceRps};
+
+  // Serial pass, then the same points through the parallel sweep and once
+  // more serially at the reference point: determinism demands all agree.
+  std::vector<PlanPoint> serial;
+  for (double rps : rates) {
+    serial.push_back(RunPoint(rps));
+  }
+  std::vector<std::function<PlanPoint()>> tasks;
+  for (double rps : rates) {
+    tasks.push_back([rps] { return RunPoint(rps); });
+  }
+  std::vector<PlanPoint> parallel = SweepMap(std::move(tasks));
+  bool identical = serial.size() == parallel.size();
+  for (size_t i = 0; identical && i < serial.size(); ++i) {
+    identical = SamePoint(serial[i], parallel[i]);
+  }
+  identical = identical && SamePoint(serial.back(), RunPoint(kReferenceRps));
+
+  PrintHeader("Capacity planner: heterogeneous vs best homogeneous (chat+summarize)");
+  std::printf("%d models, H800+H20 market, target %.0f%% attainment, horizon %.0fs\n\n",
+              kModels, kTarget * 100.0, kPlanHorizon);
+  std::printf("%-10s %-12s %-14s %-12s %-18s %-10s\n", "rps/model", "hetero $/h",
+              "attainment", "$/1k tok", "best homogeneous", "savings");
+  const PlanPoint* reference = nullptr;
+  for (const PlanPoint& point : serial) {
+    double savings = point.best_homo_cost > 0.0
+                         ? 100.0 * (1.0 - point.hetero_cost / point.best_homo_cost)
+                         : 0.0;
+    std::printf("%-10.2f %-12.2f %-14s %-12.4f %-18s %+.1f%%\n", point.rps,
+                point.hetero_cost,
+                point.certified
+                    ? (std::to_string(point.attainment * 100.0).substr(0, 5) + "%").c_str()
+                    : "uncertified",
+                point.cost_per_1k, point.best_homo_name.c_str(), savings);
+    if (point.rps == kReferenceRps) {
+      reference = &point;
+    }
+  }
+  std::printf("\nidentical across runs and sweep workers: %s\n", identical ? "yes" : "NO");
+
+  double savings_pct = 0.0;
+  bool gate_ok = false;
+  if (reference != nullptr && reference->certified && reference->best_homo_cost > 0.0) {
+    savings_pct = 100.0 * (1.0 - reference->hetero_cost / reference->best_homo_cost);
+    gate_ok = savings_pct >= 10.0;
+  }
+  std::printf("reference rate %.2f: certified hetero $%.2f/h vs best homogeneous $%.2f/h "
+              "(%.1f%% cheaper, gate >= 10%%): %s\n",
+              kReferenceRps, reference != nullptr ? reference->hetero_cost : 0.0,
+              reference != nullptr ? reference->best_homo_cost : 0.0, savings_pct,
+              gate_ok ? "PASS" : "FAIL");
+
+  if (argc > 1) {
+    std::FILE* out = std::fopen(argv[1], "w");
+    if (out != nullptr) {
+      std::fprintf(out, "{\n  \"planner\": {\n");
+      std::fprintf(out, "    \"reference_rps\": %.2f,\n", kReferenceRps);
+      std::fprintf(out, "    \"hetero_cost_per_hour\": %.2f,\n",
+                   reference != nullptr ? reference->hetero_cost : -1.0);
+      std::fprintf(out, "    \"best_homogeneous_cost_per_hour\": %.2f,\n",
+                   reference != nullptr ? reference->best_homo_cost : -1.0);
+      std::fprintf(out, "    \"savings_pct\": %.1f,\n", savings_pct);
+      std::fprintf(out, "    \"attainment\": %.4f,\n",
+                   reference != nullptr ? reference->attainment : 0.0);
+      std::fprintf(out, "    \"identical_results\": %s\n", identical ? "true" : "false");
+      std::fprintf(out, "  }\n}\n");
+      std::fclose(out);
+      std::printf("results written to %s\n", argv[1]);
+    }
+  }
+  return gate_ok && identical ? 0 : 1;
+}

@@ -19,7 +19,10 @@ RunMetrics& RunMetrics::MergeFrom(const RunMetrics& other) {
   completed_requests += other.completed_requests;
   tokens_total += other.tokens_total;
   tokens_met += other.tokens_met;
+  tokens_generated += other.tokens_generated;
   horizon = std::max(horizon, other.horizon);
+  // Pools merge side by side, so their rental rates add.
+  pool_cost_per_hour += other.pool_cost_per_hour;
   breakdown += other.breakdown;
   rejected_requests += other.rejected_requests;
   shed_requests += other.shed_requests;
@@ -60,6 +63,7 @@ RunMetrics FoldRequestsImpl(const Container& requests, Duration horizon) {
     metrics.total_requests++;
     metrics.tokens_total += r.output_tokens;
     metrics.tokens_met += r.tokens_met;
+    metrics.tokens_generated += r.generated;
     metrics.retry_attempts += r.dispatch_attempts;
     if (r.degraded) {
       metrics.degraded_requests++;

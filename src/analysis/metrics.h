@@ -35,7 +35,14 @@ struct RunMetrics {
   uint64_t completed_requests = 0;
   int64_t tokens_total = 0;
   int64_t tokens_met = 0;
+  // Tokens actually produced (<= tokens_total when requests go unfinished).
+  int64_t tokens_generated = 0;
   Duration horizon = 0.0;  // simulated makespan
+
+  // Rental cost of the pool that produced this run, $/hour. 0 means unset
+  // (GpuSpec::cost_per_hour defaults to 0); cost-derived report columns are
+  // omitted then.
+  double pool_cost_per_hour = 0.0;
 
   LatencyBreakdown breakdown;
 
@@ -90,6 +97,17 @@ struct RunMetrics {
   // throughput and zero goodput.
   double Goodput() const {
     return horizon <= 0.0 ? 0.0 : static_cast<double>(slo_good_requests) / horizon;
+  }
+
+  // Serving cost in $ per 1000 generated tokens: the pool's hourly rent
+  // over the makespan divided by tokens produced. 0 when cost is unset or
+  // nothing was generated.
+  double CostPer1kTokens() const {
+    if (pool_cost_per_hour <= 0.0 || tokens_generated <= 0 || horizon <= 0.0) {
+      return 0.0;
+    }
+    return pool_cost_per_hour * (horizon / 3600.0) /
+           (static_cast<double>(tokens_generated) / 1000.0);
   }
 };
 

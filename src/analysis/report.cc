@@ -25,6 +25,8 @@ std::vector<ModelReport> BuildPerModelReportImpl(const Container& requests,
     report.completed += r.finished() ? 1 : 0;
     report.tokens_total += r.output_tokens;
     report.tokens_met += r.tokens_met;
+    report.tokens_generated += r.generated;
+    report.exec_seconds += r.prefill_exec + r.decode_exec;
     switch (r.proxy_outcome) {
       case ProxyOutcome::kRejected: report.rejected++; break;
       case ProxyOutcome::kShed: report.shed++; break;
@@ -58,17 +60,19 @@ std::vector<ModelReport> BuildPerModelReport(const std::deque<Request>& requests
 }
 
 void PrintPerModelReport(std::ostream& os, const std::vector<ModelReport>& report) {
-  bool any_rejected = false, any_shed = false, any_timed_out = false;
+  bool any_rejected = false, any_shed = false, any_timed_out = false, any_cost = false;
   for (const ModelReport& row : report) {
     any_rejected |= row.rejected > 0;
     any_shed |= row.shed > 0;
     any_timed_out |= row.timed_out > 0;
+    any_cost |= row.cost_per_1k_tokens > 0.0;
   }
   std::vector<std::string> headers = {"model", "requests", "completed"};
   if (any_rejected) headers.push_back("rejected");
   if (any_shed) headers.push_back("shed");
   if (any_timed_out) headers.push_back("timeout");
   headers.insert(headers.end(), {"SLO attain", "mean TTFT", "p99 TTFT"});
+  if (any_cost) headers.push_back("$/1k tok");
   Table table(std::move(headers));
   for (const ModelReport& row : report) {
     std::vector<std::string> cells = {row.name, std::to_string(row.requests),
@@ -78,9 +82,32 @@ void PrintPerModelReport(std::ostream& os, const std::vector<ModelReport>& repor
     if (any_timed_out) cells.push_back(std::to_string(row.timed_out));
     cells.insert(cells.end(), {Table::Pct(row.Attainment()), Table::Num(row.mean_ttft, 3) + "s",
                                Table::Num(row.p99_ttft, 3) + "s"});
+    if (any_cost) cells.push_back(Table::Num(row.cost_per_1k_tokens, 4));
     table.AddRow(std::move(cells));
   }
   table.Print(os);
+}
+
+void ApplyPoolCost(std::vector<ModelReport>& report, const RunMetrics& metrics) {
+  if (metrics.pool_cost_per_hour <= 0.0 || metrics.horizon <= 0.0) {
+    return;
+  }
+  double total_exec = 0.0;
+  for (const ModelReport& row : report) {
+    total_exec += row.exec_seconds;
+  }
+  if (total_exec <= 0.0) {
+    return;
+  }
+  double total_cost = metrics.pool_cost_per_hour * metrics.horizon / 3600.0;
+  for (ModelReport& row : report) {
+    if (row.tokens_generated <= 0) {
+      continue;
+    }
+    double share = row.exec_seconds / total_exec;
+    row.cost_per_1k_tokens =
+        total_cost * share / (static_cast<double>(row.tokens_generated) / 1000.0);
+  }
 }
 
 double JainFairness(const std::vector<ModelReport>& report) {
@@ -125,6 +152,13 @@ void WriteMetricsJson(std::ostream& os, const RunMetrics& metrics) {
   }
   if (metrics.retry_attempts > 0) {
     os << "\"retry_attempts\":" << metrics.retry_attempts << ",";
+  }
+  // Cost keys only when the pool has a rental rate (same convention as the
+  // proxy counters: cost-less runs keep their original key set).
+  if (metrics.pool_cost_per_hour > 0.0) {
+    os << "\"pool_cost_per_hour\":" << metrics.pool_cost_per_hour << ","
+       << "\"tokens_generated\":" << metrics.tokens_generated << ","
+       << "\"cost_per_1k_tokens\":" << metrics.CostPer1kTokens() << ",";
   }
   // Host-side simulation cost: pooled counters always; per-shard breakdown
   // and epoch count only for sharded-fleet runs. Wall-clock values are

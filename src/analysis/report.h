@@ -26,8 +26,14 @@ struct ModelReport {
   uint64_t rejected = 0;
   uint64_t shed = 0;
   uint64_t timed_out = 0;
+  int64_t tokens_generated = 0;
+  // GPU execution seconds attributed to this model (prefill + decode).
+  double exec_seconds = 0.0;
   double mean_ttft = 0.0;
   double p99_ttft = 0.0;
+  // $ per 1000 generated tokens, apportioned from the pool's rental rate by
+  // ApplyPoolCost; 0 until applied (or when cost is unset).
+  double cost_per_1k_tokens = 0.0;
 
   double Attainment() const {
     return tokens_total == 0 ? 1.0 : static_cast<double>(tokens_met) / tokens_total;
@@ -46,6 +52,12 @@ std::vector<ModelReport> BuildPerModelReport(const std::deque<Request>& requests
 // shed / timeout) appear only when at least one row has a nonzero count, so
 // proxy-less runs print the familiar narrow table.
 void PrintPerModelReport(std::ostream& os, const std::vector<ModelReport>& report);
+
+// Apportions the run's pool rent (metrics.pool_cost_per_hour over the
+// makespan) across models by their GPU execution-time share and fills each
+// row's cost_per_1k_tokens. No-op when cost is unset — the table's $ column
+// then stays hidden (the conditional-column convention above).
+void ApplyPoolCost(std::vector<ModelReport>& report, const RunMetrics& metrics);
 
 // Jain's fairness index over per-model SLO attainment, in (0, 1]: 1.0 means
 // every model attains equally; 1/n means one model takes everything.

@@ -12,6 +12,11 @@ GpuSpec GpuSpec::H800() {
   // gives the ~40 GB/s effective loading the paper's sub-second 13B
   // scale-ups imply.
   spec.pcie_bytes_per_s = 64.0 * kGB;
+  // Market rates (on-demand cloud list prices, mid-2025 ballpark): H800
+  // ~$4.50/h, H20 ~$2.80/h, A10 ~$1.01/h, A100 ~$3.67/h. These set the
+  // relative cost ordering the planner optimizes; absolute levels only
+  // scale the reported $/hour.
+  spec.cost_per_hour = 4.50;
   return spec;
 }
 
@@ -22,6 +27,7 @@ GpuSpec GpuSpec::H20() {
   spec.peak_fp16_flops = 148e12;
   spec.hbm_bytes_per_s = 4000.0 * kGB;
   spec.pcie_bytes_per_s = 64.0 * kGB;
+  spec.cost_per_hour = 2.80;
   return spec;
 }
 
@@ -32,6 +38,7 @@ GpuSpec GpuSpec::A10() {
   spec.peak_fp16_flops = 125e12;
   spec.hbm_bytes_per_s = 600.0 * kGB;
   spec.pcie_bytes_per_s = 32.0 * kGB;
+  spec.cost_per_hour = 1.01;
   return spec;
 }
 
@@ -42,6 +49,7 @@ GpuSpec GpuSpec::A100() {
   spec.peak_fp16_flops = 312e12;
   spec.hbm_bytes_per_s = 2039.0 * kGB;
   spec.pcie_bytes_per_s = 32.0 * kGB;
+  spec.cost_per_hour = 3.67;
   return spec;
 }
 

@@ -36,6 +36,10 @@ struct GpuSpec {
   // Fixed per-kernel-launch/step overhead for a token generation job, in
   // seconds. Covers kernel launches, sampling, and Python/engine overhead.
   double step_overhead_s = 0.004;
+  // Market rental rate, $/hour per GPU. 0 means "unset": cost-derived
+  // outputs ($/1k-tokens columns, planner objectives) are then omitted or
+  // fall back to GPU-count minimization.
+  double cost_per_hour = 0.0;
 
   double effective_flops() const { return peak_fp16_flops * compute_efficiency; }
   double effective_hbm() const { return hbm_bytes_per_s * membw_efficiency; }

@@ -1,0 +1,499 @@
+#include "planner/planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "core/cluster.h"
+#include "planner/queueing.h"
+
+namespace aegaeon {
+namespace {
+
+// Does the cached profile cover every (option, loaded class, loaded bucket)
+// combination this solve needs?
+bool ProfileCovers(const ThroughputProfile& profile, const std::vector<GpuOption>& options,
+                   const ModelRegistry& registry, const WorkloadMatrix& matrix,
+                   double target_attainment) {
+  if (!(profile.grid == matrix.grid) ||
+      profile.target_attainment != target_attainment) {
+    return false;
+  }
+  const int buckets = matrix.grid.buckets();
+  const int num_models = static_cast<int>(
+      std::min(registry.size(), matrix.model_bucket_rate.size()));
+  for (const GpuOption& option : options) {
+    for (int m = 0; m < num_models; ++m) {
+      if (matrix.model_rate[m] <= 0.0) {
+        continue;
+      }
+      const ProfileEntry* entry =
+          profile.Find(option.spec.name, ModelClassOf(registry.Get(m).spec.name));
+      if (entry == nullptr) {
+        return false;
+      }
+      if (!entry->fits) {
+        continue;  // nothing to calibrate for a model that cannot load
+      }
+      for (int b = 0; b < buckets; ++b) {
+        if (matrix.Rate(m, b) > 0.0 && entry->tput[b] == ProfileEntry::kUnprofiled) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+// Cluster config for a subpool replay: VRAM-fitted instance sizing plus the
+// TP degree of the models it hosts (markets mix TP only across subpools).
+AegaeonConfig SubpoolConfig(const GpuSpec& spec, const ModelRegistry& registry,
+                            const SubpoolPlan& sub) {
+  AegaeonConfig config = PlannerConfigForGpu(spec, sub.prefill, sub.decode);
+  int tp = 1;
+  for (const PlannedSlice& slice : sub.slices) {
+    tp = std::max(tp, registry.Get(slice.model).tp);
+  }
+  config.instance_tp = tp;
+  return config;
+}
+
+}  // namespace
+
+Planner::Planner(const ModelRegistry& registry, std::vector<GpuOption> options)
+    : registry_(registry), options_(std::move(options)) {}
+
+std::vector<std::vector<ArrivalEvent>> Planner::RouteTrace(
+    const PoolPlan& plan, const std::vector<ArrivalEvent>& trace,
+    const BucketGrid& grid) const {
+  const int num_subpools = static_cast<int>(plan.subpools.size());
+  std::vector<std::vector<ArrivalEvent>> routed(num_subpools);
+  if (num_subpools == 0) {
+    return routed;
+  }
+  const int buckets = grid.buckets();
+
+  // weights[m * buckets + b][i]: planned rate of cell (m, b) on subpool i.
+  size_t num_models = registry_.size();
+  std::vector<std::vector<double>> weights(num_models * buckets);
+  for (int i = 0; i < num_subpools; ++i) {
+    for (const PlannedSlice& slice : plan.subpools[i].slices) {
+      size_t cell = static_cast<size_t>(slice.model) * buckets + slice.bucket;
+      if (weights[cell].empty()) {
+        weights[cell].assign(num_subpools, 0.0);
+      }
+      weights[cell][i] += slice.rate;
+    }
+  }
+  // Fallback subpool per model for cells the plan never saw (possible only
+  // if the routed trace differs from the profiled one): the subpool with
+  // the most planned rate for that model, ties to the lowest index.
+  std::vector<int> fallback(num_models, 0);
+  for (size_t m = 0; m < num_models; ++m) {
+    double best = -1.0;
+    for (int i = 0; i < num_subpools; ++i) {
+      double rate = 0.0;
+      for (const PlannedSlice& slice : plan.subpools[i].slices) {
+        if (slice.model == static_cast<ModelId>(m)) {
+          rate += slice.rate;
+        }
+      }
+      if (rate > best) {
+        best = rate;
+        fallback[m] = i;
+      }
+    }
+  }
+
+  // Deterministic weighted round-robin per cell: each arrival goes to the
+  // subpool furthest behind its planned share.
+  std::vector<std::vector<uint64_t>> routed_count(num_models * buckets);
+  for (const ArrivalEvent& event : trace) {
+    if (event.model >= num_models) {
+      continue;
+    }
+    size_t cell = static_cast<size_t>(event.model) * buckets +
+                  grid.BucketOf(event.prompt_tokens, event.output_tokens);
+    int target = fallback[event.model];
+    if (!weights[cell].empty()) {
+      if (routed_count[cell].empty()) {
+        routed_count[cell].assign(num_subpools, 0);
+      }
+      uint64_t total = 0;
+      for (uint64_t c : routed_count[cell]) {
+        total += c;
+      }
+      double total_weight = 0.0;
+      for (double w : weights[cell]) {
+        total_weight += w;
+      }
+      double best_deficit = -std::numeric_limits<double>::infinity();
+      for (int i = 0; i < num_subpools; ++i) {
+        if (weights[cell][i] <= 0.0) {
+          continue;
+        }
+        double share = weights[cell][i] / total_weight;
+        double deficit = share * static_cast<double>(total + 1) -
+                         static_cast<double>(routed_count[cell][i]);
+        if (deficit > best_deficit) {
+          best_deficit = deficit;
+          target = i;
+        }
+      }
+      ++routed_count[cell][target];
+    }
+    routed[target].push_back(event);
+  }
+  return routed;
+}
+
+RunMetrics Planner::Replay(const PoolPlan& plan, const std::vector<ArrivalEvent>& trace,
+                           const BucketGrid& grid,
+                           std::vector<SubpoolOutcome>* outcomes) const {
+  RunMetrics merged;
+  if (outcomes != nullptr) {
+    outcomes->clear();
+  }
+  std::vector<std::vector<ArrivalEvent>> routed = RouteTrace(plan, trace, grid);
+  for (size_t i = 0; i < plan.subpools.size(); ++i) {
+    const SubpoolPlan& sub = plan.subpools[i];
+    const GpuSpec& spec = options_[sub.option].spec;
+    AegaeonCluster cluster(SubpoolConfig(spec, registry_, sub), registry_, spec);
+    RunMetrics metrics = cluster.Run(routed[i]);
+    if (outcomes != nullptr) {
+      SubpoolOutcome outcome;
+      outcome.option = sub.option;
+      outcome.gpu = spec.name;
+      outcome.gpus = sub.gpus;
+      outcome.requests = routed[i].size();
+      outcome.attainment = metrics.SloAttainment();
+      outcomes->push_back(outcome);
+    }
+    merged.MergeFrom(metrics);
+  }
+  merged.pool_cost_per_hour = plan.cost_per_hour;
+  return merged;
+}
+
+CertifiedPlan Planner::Solve(const std::vector<ArrivalEvent>& trace, double horizon,
+                             const PlannerOptions& options) const {
+  CertifiedPlan result;
+  result.matrix =
+      BuildWorkloadMatrix(trace, horizon, registry_.size(), options.grid);
+
+  // Profile: cache hit when the stored grid/target/coverage all match.
+  ProfilerOptions profiler = options.profiler;
+  profiler.target_attainment = options.target_attainment;
+  std::vector<GpuSpec> gpus;
+  for (const GpuOption& option : options_) {
+    gpus.push_back(option.spec);
+  }
+  bool have_profile = false;
+  if (!options.profile_cache.empty()) {
+    ThroughputProfile cached;
+    if (LoadProfileJson(options.profile_cache, options.grid, cached) &&
+        ProfileCovers(cached, options_, registry_, result.matrix,
+                      profiler.target_attainment)) {
+      result.profile = std::move(cached);
+      result.profile_from_cache = true;
+      have_profile = true;
+    }
+  }
+  if (!have_profile) {
+    result.profile = ProfileThroughput(gpus, registry_, result.matrix, profiler);
+    if (!options.profile_cache.empty()) {
+      SaveProfileJson(options.profile_cache, result.profile);
+    }
+  }
+
+  Solver solver(registry_, result.profile, options_);
+  SolverOptions solver_options = options.solver;
+  solver_options.capacity_scale.assign(options_.size(), 1.0);
+  solver_options.min_count.assign(options_.size(), 0);
+
+  // Certification is on fleet-wide attainment — the same bar the
+  // homogeneous baseline is held to. The per-subpool term is only a
+  // masking guard: a big healthy subpool must not hide one that is
+  // drastically failing its own requests.
+  auto certifies = [&](const RunMetrics& merged,
+                       const std::vector<SubpoolOutcome>& outcomes) {
+    bool met = merged.SloAttainment() >= options.target_attainment;
+    for (const SubpoolOutcome& outcome : outcomes) {
+      if (outcome.requests >= options.min_subpool_requests &&
+          outcome.attainment < options.target_attainment - 0.05) {
+        met = false;
+      }
+    }
+    return met;
+  };
+
+  // Post-certification descent: the solver's queueing predictions are
+  // deliberately conservative, so a certified plan usually carries slack.
+  // Remove one GPU at a time — most expensive type first — re-pack the
+  // workload for the reduced composition, and keep every removal the
+  // simulator still certifies. This walks below the analytic feasibility
+  // frontier with the replay as the only judge — the same oracle power the
+  // homogeneous baseline gets from its replay bisection, so the final
+  // hetero-vs-homogeneous comparison is like for like.
+  auto trim = [&](CertifiedPlan& certified, const Solver& solver,
+                  const SolverOptions& solver_options) {
+    auto pool_cost = [&](const std::vector<int>& counts) {
+      double cost = 0.0;
+      for (size_t o = 0; o < options_.size(); ++o) {
+        cost += counts[o] * options_[o].CostPerHour();
+      }
+      return cost;
+    };
+    // Each trial costs one full replay; the budget bounds the descent.
+    int budget = 64;
+    auto attempt = [&](const std::vector<int>& counts) {
+      int total = 0;
+      for (int c : counts) {
+        total += c;
+      }
+      if (total == 0 || budget <= 0 ||
+          pool_cost(counts) >= certified.plan.cost_per_hour) {
+        return false;
+      }
+      PoolPlan trial = solver.Repack(result.matrix, solver_options, counts);
+      if (!trial.feasible) {
+        return false;
+      }
+      --budget;
+      std::vector<SubpoolOutcome> outcomes;
+      RunMetrics merged = Replay(trial, trace, options.grid, &outcomes);
+      if (!certifies(merged, outcomes)) {
+        if (std::getenv("AEGAEON_PLAN_DEBUG") != nullptr) {
+          std::fprintf(stderr, "trim reject [");
+          for (int c : counts) std::fprintf(stderr, " %d", c);
+          std::fprintf(stderr, " ] overall %.4f;", merged.SloAttainment());
+          for (const SubpoolOutcome& oc : outcomes) {
+            std::fprintf(stderr, " %s x%d: %.4f (%llu req)", oc.gpu.c_str(), oc.gpus,
+                         oc.attainment, static_cast<unsigned long long>(oc.requests));
+          }
+          std::fprintf(stderr, "\n");
+        }
+        return false;
+      }
+      PlannerRound record;
+      record.plan = trial;
+      record.merged = merged;
+      record.outcomes = outcomes;
+      record.certified = true;
+      certified.plan = std::move(trial);
+      certified.replay = std::move(merged);
+      certified.rounds.push_back(std::move(record));
+      return true;
+    };
+    bool improved = true;
+    while (improved && budget > 0) {
+      improved = false;
+      std::vector<int> order;
+      for (int o = 0; o < static_cast<int>(options_.size()); ++o) {
+        if (certified.plan.counts[o] > 0) {
+          order.push_back(o);
+        }
+      }
+      std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return options_[a].CostPerHour() > options_[b].CostPerHour();
+      });
+      // Pure shrink, most expensive type first. A subpool needs one
+      // prefill + one decode GPU, so a count of 2 closes to 0.
+      for (int o : order) {
+        std::vector<int> counts = certified.plan.counts;
+        counts[o] = counts[o] <= 2 ? 0 : counts[o] - 1;
+        if (attempt(counts)) {
+          improved = true;
+          break;
+        }
+      }
+      if (improved) {
+        continue;
+      }
+      // Close a whole subpool. A gradual shrink can wedge — the repack
+      // spills ever more load onto the shrinking subpool until it misses —
+      // while dropping the type entirely re-routes its slices to the
+      // survivors, which often absorb them whole (a marginal subpool's
+      // switching floor can cost more attainment than its capacity adds).
+      for (int o : order) {
+        if (certified.plan.counts[o] <= 2) {
+          continue;  // the shrink move above already tried closing this
+        }
+        std::vector<int> counts = certified.plan.counts;
+        counts[o] = 0;
+        if (attempt(counts)) {
+          improved = true;
+          break;
+        }
+      }
+      if (improved) {
+        continue;
+      }
+      // Swap: trade one expensive GPU for one cheaper GPU elsewhere. The
+      // attempt() cost guard keeps only strictly cost-decreasing trades,
+      // and each accepted trade re-opens the shrink moves above.
+      for (int o : order) {
+        for (int p : order) {
+          if (p == o || options_[p].CostPerHour() >= options_[o].CostPerHour()) {
+            continue;
+          }
+          std::vector<int> counts = certified.plan.counts;
+          counts[o] = counts[o] <= 2 ? 0 : counts[o] - 1;
+          counts[p] += 1;
+          if (counts[p] <= options_[p].max_count && attempt(counts)) {
+            improved = true;
+            break;
+          }
+        }
+        if (improved) {
+          break;
+        }
+      }
+      if (improved) {
+        continue;
+      }
+      // Replace: close subpool o and grow another type by the largest
+      // strictly-cheaper amount in one step. One-for-one swaps cannot cross
+      // this gap when the replacement needs more units than the closed pool
+      // had (3 H800s may take 4 H20s to replace); growing maximally gives
+      // the replay its best shot, and the shrink moves re-open afterwards
+      // to trim any surplus.
+      for (int o : order) {
+        double freed = certified.plan.counts[o] * options_[o].CostPerHour();
+        for (int p = 0; p < static_cast<int>(options_.size()); ++p) {
+          if (p == o) {
+            continue;
+          }
+          int grow = static_cast<int>(std::ceil(freed / options_[p].CostPerHour())) - 1;
+          grow = std::min(grow, options_[p].max_count - certified.plan.counts[p]);
+          if (grow < 1) {
+            continue;
+          }
+          std::vector<int> counts = certified.plan.counts;
+          counts[o] = 0;
+          counts[p] += grow;
+          // A subpool needs at least one prefill + one decode GPU.
+          if (counts[p] < 2) {
+            continue;
+          }
+          if (attempt(counts)) {
+            improved = true;
+            break;
+          }
+        }
+        if (improved) {
+          break;
+        }
+      }
+    }
+  };
+
+  for (int round = 0; round < std::max(1, options.max_rounds); ++round) {
+    PlannerRound record;
+    record.plan = solver.Solve(result.matrix, solver_options);
+    if (!record.plan.feasible) {
+      result.plan = record.plan;
+      result.rounds.push_back(std::move(record));
+      return result;  // infeasible: nothing to certify
+    }
+    record.merged = Replay(record.plan, trace, options.grid, &record.outcomes);
+
+    bool met = certifies(record.merged, record.outcomes);
+    record.certified = met;
+    result.plan = record.plan;
+    result.replay = record.merged;
+    result.rounds.push_back(record);
+    if (met) {
+      result.certified = true;
+      trim(result, solver, solver_options);
+      return result;
+    }
+
+    // Correction, two channels keyed on why the subpool missed. Load-bound
+    // (utilization near the packing ceiling): inflate the load the solver
+    // must cover there. Switch-bound (plenty of idle capacity, so queueing
+    // is not the problem — model switches are): raise the GPU floor, which
+    // spreads the model working set across more instances.
+    for (const SubpoolOutcome& outcome : record.outcomes) {
+      bool missed = outcome.attainment < options.target_attainment &&
+                    (outcome.requests >= options.min_subpool_requests ||
+                     record.merged.SloAttainment() < options.target_attainment);
+      if (!missed) {
+        continue;
+      }
+      double shortfall = options.target_attainment - outcome.attainment;
+      double utilization = 0.0;
+      for (const SubpoolPlan& sub : record.plan.subpools) {
+        if (sub.option == outcome.option) {
+          utilization = sub.utilization;
+        }
+      }
+      if (utilization < 0.5 * solver_options.rho_max) {
+        int step = std::clamp(
+            static_cast<int>(std::ceil(outcome.gpus * 2.0 * shortfall)), 1, 4);
+        solver_options.min_count[outcome.option] =
+            std::min(options_[outcome.option].max_count,
+                     std::max(solver_options.min_count[outcome.option],
+                              outcome.gpus + step));
+      } else {
+        double factor = 1.0 + std::max(0.15, 2.0 * shortfall);
+        solver_options.capacity_scale[outcome.option] =
+            std::min(8.0, solver_options.capacity_scale[outcome.option] * factor);
+      }
+    }
+  }
+  return result;
+}
+
+RunMetrics Planner::ReplayHomogeneous(const ModelRegistry& registry, const GpuSpec& spec,
+                                      int gpus, const std::vector<ArrivalEvent>& trace) {
+  int prefill = 0;
+  int decode = 0;
+  SplitPool(gpus, &prefill, &decode);
+  AegaeonConfig config = PlannerConfigForGpu(spec, prefill, decode);
+  for (const DeployedModel& model : registry.models()) {
+    config.instance_tp = std::max(config.instance_tp, model.tp);
+  }
+  AegaeonCluster cluster(config, registry, spec);
+  RunMetrics metrics = cluster.Run(trace);
+  metrics.pool_cost_per_hour = gpus * spec.cost_per_hour;
+  return metrics;
+}
+
+int Planner::MinHomogeneousGpus(const ModelRegistry& registry, const GpuSpec& spec,
+                                const std::vector<ArrivalEvent>& trace, double target,
+                                int max_gpus) {
+  AegaeonConfig sizing = PlannerConfigForGpu(spec, 1, 1);
+  for (const DeployedModel& model : registry.models()) {
+    if (model.shard_bytes() > sizing.weight_buffer_bytes) {
+      return -1;  // the model cannot load at all on this GPU
+    }
+  }
+  auto meets = [&](int gpus) {
+    return ReplayHomogeneous(registry, spec, gpus, trace).SloAttainment() >= target;
+  };
+  int hi = 2;
+  while (hi <= max_gpus && !meets(hi)) {
+    hi *= 2;
+  }
+  if (hi > max_gpus) {
+    if (hi / 2 >= max_gpus || !meets(max_gpus)) {
+      return -1;
+    }
+    hi = max_gpus;
+  }
+  int lo = hi / 2;  // lo either failed or is below the valid minimum of 2
+  while (hi - lo > 1 && lo >= 2) {
+    int mid = (lo + hi) / 2;
+    if (meets(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace aegaeon

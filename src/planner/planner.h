@@ -1,0 +1,115 @@
+// The capacity-planning closed loop. `Planner::Solve()` chains the three
+// planner layers — workload matrix, throughput profile, cost solver — and
+// then certifies the proposal against the real simulator: the trace is
+// deterministically routed onto the proposed subpools, each subpool replays
+// as its own AegaeonCluster, and the merged token-level SLO attainment
+// either certifies the plan or feeds a per-GPU-type capacity correction
+// back into the solver for another round.
+//
+// Determinism: every stage is a pure function of (trace, registry, options)
+// — the profiler seeds per calibration point, the solver iterates in index
+// order, and routing uses deterministic weighted round-robin — so repeated
+// runs (and profile-cache hits) produce bit-identical certified plans.
+
+#ifndef AEGAEON_PLANNER_PLANNER_H_
+#define AEGAEON_PLANNER_PLANNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/metrics.h"
+#include "core/request.h"
+#include "model/registry.h"
+#include "planner/solver.h"
+#include "planner/throughput_profile.h"
+#include "planner/workload_matrix.h"
+
+namespace aegaeon {
+
+struct PlannerOptions {
+  BucketGrid grid = BucketGrid::Default();
+  ProfilerOptions profiler;
+  SolverOptions solver;
+  // Certification bar: merged replay attainment, and per-subpool attainment
+  // for subpools with enough requests to judge.
+  double target_attainment = 0.90;
+  uint64_t min_subpool_requests = 30;
+  int max_rounds = 5;
+  // Optional JSON profile cache path; empty = always profile fresh.
+  std::string profile_cache;
+};
+
+// Replay outcome of one subpool in one round.
+struct SubpoolOutcome {
+  int option = -1;
+  std::string gpu;
+  int gpus = 0;
+  uint64_t requests = 0;
+  double attainment = 0.0;
+};
+
+struct PlannerRound {
+  PoolPlan plan;
+  RunMetrics merged;
+  std::vector<SubpoolOutcome> outcomes;
+  bool certified = false;
+};
+
+struct CertifiedPlan {
+  bool certified = false;
+  PoolPlan plan;       // the final (certified or last-attempted) proposal
+  RunMetrics replay;   // its simulator replay
+  WorkloadMatrix matrix;
+  ThroughputProfile profile;
+  bool profile_from_cache = false;
+  std::vector<PlannerRound> rounds;
+};
+
+class Planner {
+ public:
+  Planner(const ModelRegistry& registry, std::vector<GpuOption> options);
+
+  // Profiles `trace` over [0, horizon), solves, and runs the certification
+  // loop. Returns certified = false when the solver reports infeasibility
+  // or max_rounds replays still miss the target (the last round's plan and
+  // replay are returned either way).
+  CertifiedPlan Solve(const std::vector<ArrivalEvent>& trace, double horizon,
+                      const PlannerOptions& options) const;
+
+  // Deterministic weighted routing of `trace` onto `plan.subpools`: per
+  // (model, bucket) cell, arrivals round-robin across subpools proportional
+  // to the planned slice rates. Entry i of the result is subpool i's trace.
+  std::vector<std::vector<ArrivalEvent>> RouteTrace(const PoolPlan& plan,
+                                                    const std::vector<ArrivalEvent>& trace,
+                                                    const BucketGrid& grid) const;
+
+  // Replays `plan` on the simulator: routes the trace, runs one
+  // AegaeonCluster per subpool (3:5 prefill:decode split, VRAM-fitted
+  // config), merges metrics. `outcomes` (optional) receives per-subpool
+  // attainment.
+  RunMetrics Replay(const PoolPlan& plan, const std::vector<ArrivalEvent>& trace,
+                    const BucketGrid& grid, std::vector<SubpoolOutcome>* outcomes) const;
+
+  // Replays the whole trace on a homogeneous pool of `gpus` GPUs of `spec`
+  // (the comparison baseline for the planner's heterogeneous plans).
+  static RunMetrics ReplayHomogeneous(const ModelRegistry& registry, const GpuSpec& spec,
+                                      int gpus, const std::vector<ArrivalEvent>& trace);
+
+  // Smallest homogeneous pool of `spec` whose replay meets `target`
+  // attainment, found by doubling + bisection. Returns -1 when some model
+  // cannot fit the GPU or no pool up to `max_gpus` suffices.
+  static int MinHomogeneousGpus(const ModelRegistry& registry, const GpuSpec& spec,
+                                const std::vector<ArrivalEvent>& trace, double target,
+                                int max_gpus);
+
+  const std::vector<GpuOption>& options() const { return options_; }
+
+ private:
+  const ModelRegistry& registry_;
+  std::vector<GpuOption> options_;
+};
+
+}  // namespace aegaeon
+
+#endif  // AEGAEON_PLANNER_PLANNER_H_

@@ -1,0 +1,162 @@
+#include "planner/queueing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "analysis/theory.h"
+#include "model/latency_model.h"
+
+namespace aegaeon {
+
+double ErlangC(int servers, double offered_load) {
+  if (servers <= 0) {
+    return 1.0;
+  }
+  double a = offered_load;
+  if (a <= 0.0) {
+    return 0.0;
+  }
+  if (a >= static_cast<double>(servers)) {
+    return 1.0;
+  }
+  // Iterative Erlang-B, then convert: C = B / (1 - rho * (1 - B)).
+  double b = 1.0;
+  for (int k = 1; k <= servers; ++k) {
+    b = a * b / (static_cast<double>(k) + a * b);
+  }
+  double rho = a / static_cast<double>(servers);
+  return b / (1.0 - rho * (1.0 - b));
+}
+
+double MgcWaitTime(double arrival_rate, double mean_service, double service_scv, int servers) {
+  if (arrival_rate <= 0.0 || mean_service <= 0.0) {
+    return 0.0;
+  }
+  double a = arrival_rate * mean_service;  // offered load in Erlangs
+  if (a >= static_cast<double>(servers)) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double mm_c_wait = ErlangC(servers, a) * mean_service / (static_cast<double>(servers) - a);
+  return mm_c_wait * (1.0 + std::max(0.0, service_scv)) / 2.0;
+}
+
+double SwitchProbability(int models, double per_model_rate, double window, int instances) {
+  if (models <= 0 || instances >= models) {
+    return 0.0;
+  }
+  double miss = 1.0 - static_cast<double>(instances) / models;
+  double group = 1.0 + std::max(0.0, per_model_rate) * std::max(0.0, window);
+  double p = miss / group;
+  // Contention floor: once Theorem 3.1 predicts more simultaneously-active
+  // models than instances, amortization cannot help — some active model is
+  // always non-resident.
+  double active = ExpectedActiveModels(models, per_model_rate, window);
+  if (active > static_cast<double>(instances)) {
+    p = std::max(p, 1.0 - static_cast<double>(instances) / active);
+  }
+  return std::min(1.0, p);
+}
+
+void SplitPool(int gpus, int* prefill, int* decode) {
+  int p = std::max(1, (3 * gpus + 4) / 8);
+  if (p >= gpus) {
+    p = std::max(1, gpus - 1);
+  }
+  *prefill = p;
+  *decode = std::max(1, gpus - p);
+}
+
+SubpoolPrediction PredictSubpool(const GpuSpec& gpu, int gpus,
+                                 const std::vector<AssignedSlice>& slices,
+                                 double decode_utilization, int distinct_models,
+                                 Duration qmax) {
+  SubpoolPrediction prediction;
+  prediction.slo = SloSpec{std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::infinity()};
+  if (gpus < 2) {
+    return prediction;  // a subpool needs at least one prefill + one decode GPU
+  }
+  int prefill_gpus = 0;
+  int decode_gpus = 0;
+  SplitPool(gpus, &prefill_gpus, &decode_gpus);
+
+  LatencyModel latency(gpu);
+  double total_rate = 0.0;
+  double weighted_service = 0.0;
+  double weighted_service_sq = 0.0;
+  double weighted_switch_load = 0.0;
+  double weighted_step = 0.0;
+  double weighted_output = 0.0;  // E[output tokens per request]
+  for (const AssignedSlice& slice : slices) {
+    if (slice.rate <= 0.0) {
+      continue;
+    }
+    double service = latency.PrefillOne(*slice.spec, slice.tp, slice.prompt_tokens);
+    double step =
+        latency.DecodeStep(*slice.spec, slice.tp, slice.prompt_tokens + slice.output_tokens / 2);
+    total_rate += slice.rate;
+    weighted_service += slice.rate * service;
+    weighted_service_sq += slice.rate * service * service;
+    weighted_switch_load += slice.rate * latency.SwitchLoad(*slice.spec, slice.tp);
+    weighted_step += slice.rate * step;
+    weighted_output += slice.rate * static_cast<double>(slice.output_tokens);
+    prediction.slo.ttft = std::min(prediction.slo.ttft, slice.slo.ttft);
+    prediction.slo.tbt = std::min(prediction.slo.tbt, slice.slo.tbt);
+  }
+  if (total_rate <= 0.0) {
+    prediction.stable = true;
+    prediction.ttft = 0.0;
+    prediction.tbt = 0.0;
+    return prediction;
+  }
+  double mean_service = weighted_service / total_rate;
+  double mean_switch_load = weighted_switch_load / total_rate;
+  double mean_step = weighted_step / total_rate;
+  double mean_output = weighted_output / total_rate;
+
+  // Switching on the prefill side: the residency window is one prefill
+  // service time — same-model requests arriving inside it share a switch.
+  double per_model_rate = total_rate / std::max(1, distinct_models);
+  double p_switch_prefill =
+      SwitchProbability(distinct_models, per_model_rate, mean_service, prefill_gpus);
+  prediction.switch_probability = p_switch_prefill;
+
+  // Effective prefill service = prefill + expected switch stall.
+  double eff_service = mean_service + p_switch_prefill * mean_switch_load;
+  double eff_service_sq = weighted_service_sq / total_rate +
+                          2.0 * mean_service * p_switch_prefill * mean_switch_load +
+                          p_switch_prefill * mean_switch_load * mean_switch_load;
+  double scv = eff_service <= 0.0 ? 0.0 : eff_service_sq / (eff_service * eff_service) - 1.0;
+
+  prediction.prefill_utilization =
+      total_rate * eff_service / static_cast<double>(prefill_gpus);
+  prediction.decode_utilization = decode_utilization;
+  double wait = MgcWaitTime(total_rate, eff_service, scv, prefill_gpus);
+  prediction.stable = std::isfinite(wait) && decode_utilization < 1.0;
+  prediction.ttft = wait + eff_service;
+
+  // Decoding: with more concurrently-active models than decode instances,
+  // each model's generation is time-sliced — the effective token interval
+  // is the raw step multiplied by the multiplex degree m*/d, plus the
+  // amortized switch share (one Eq. 4 load per qmax-second quota turn).
+  // m* itself depends on how long requests stay resident, which depends on
+  // the effective interval, so iterate to the fixed point (Theorem 3.1 is
+  // monotone in the window, so the damped iteration converges).
+  double tbt = mean_step;
+  for (int iter = 0; iter < 8; ++iter) {
+    double residency = mean_output * tbt;
+    double active = ExpectedActiveModels(distinct_models, per_model_rate, residency);
+    double multiplex = std::max(1.0, active / std::max(1, decode_gpus));
+    double p_switch =
+        SwitchProbability(distinct_models, per_model_rate, residency, decode_gpus);
+    double switch_share =
+        qmax > 0.0 ? p_switch * mean_switch_load * mean_step / qmax : 0.0;
+    double next = (mean_step + switch_share) * multiplex;
+    tbt = 0.5 * tbt + 0.5 * std::min(next, 100.0 * mean_step);
+  }
+  prediction.tbt = tbt;
+  return prediction;
+}
+
+}  // namespace aegaeon

@@ -1,0 +1,86 @@
+// M/G/c-style queueing predictions for candidate subpools, built on the
+// Theorem 3.1 active-model estimate in analysis/theory.
+//
+// The solver needs a fast feasibility oracle: given the slices of workload
+// assigned to a subpool of n GPUs of one type, will TTFT/TBT SLOs hold?
+// Prefill is modeled as an M/G/c queue (Erlang-C wait scaled by the
+// Allen-Cunneen (1+CV^2)/2 service-variability factor), with service times
+// inflated by the expected model-switch overhead: when Theorem 3.1 predicts
+// more concurrently-active models than instances, a dispatch likely finds
+// the wrong model resident and pays the Eq. 4 load time. Decoding is
+// modeled as utilization-inflated step time plus the per-token amortized
+// switch share. The predictions steer the search; the closed loop
+// (planner/planner.h) certifies against the real simulator.
+
+#ifndef AEGAEON_PLANNER_QUEUEING_H_
+#define AEGAEON_PLANNER_QUEUEING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/slo.h"
+#include "hw/gpu_spec.h"
+#include "model/model_spec.h"
+
+namespace aegaeon {
+
+// Erlang-C: probability an arrival waits in an M/M/c queue with offered
+// load a = lambda/mu (in Erlangs). Returns 1.0 when a >= c (unstable).
+double ErlangC(int servers, double offered_load);
+
+// Mean M/G/c queueing delay (Allen-Cunneen approximation): the M/M/c wait
+// scaled by (1 + scv) / 2, where scv is the squared coefficient of
+// variation of service time. Returns +inf when unstable.
+double MgcWaitTime(double arrival_rate, double mean_service, double service_scv, int servers);
+
+// P(dispatch needs a model switch). With `instances` GPUs holding one model
+// each out of `models` uniform streams, a random arrival finds its model
+// resident with probability ~ instances/models (random incidence over the
+// most-recently-used set). Same-model arrivals inside one residency window
+// of length `window` share a single switch, which amortizes the miss by
+// E[group] = 1 + rate * window — the same clustering Theorem 3.1 counts:
+// when ExpectedActiveModels(models, rate, window) exceeds `instances` the
+// group term stays ~1 and the probability approaches the contention limit
+// 1 - instances/models.
+double SwitchProbability(int models, double per_model_rate, double window, int instances);
+
+// One slice of workload assigned to a subpool.
+struct AssignedSlice {
+  const ModelSpec* spec = nullptr;
+  int tp = 1;
+  double rate = 0.0;  // req/s
+  int64_t prompt_tokens = 0;
+  int64_t output_tokens = 0;
+  SloSpec slo;
+};
+
+struct SubpoolPrediction {
+  bool stable = false;
+  double prefill_utilization = 0.0;
+  double decode_utilization = 0.0;  // against profiled capacity
+  double switch_probability = 0.0;
+  double ttft = 0.0;  // predicted mean TTFT (queue wait + prefill + switch)
+  double tbt = 0.0;   // predicted steady-state token interval
+  // Strictest SLO across the assigned slices; feasibility compares the
+  // predictions against these targets.
+  SloSpec slo;
+
+  bool MeetsSlo() const { return stable && ttft <= slo.ttft && tbt <= slo.tbt; }
+};
+
+// Predicts a subpool of `gpus` GPUs of type `gpu` (split prefill/decode by
+// the paper's 3:5 ratio) serving `slices`. `decode_utilization` is supplied
+// by the caller from the profiled throughput matrix (rate/tput sums);
+// `distinct_models` is the number of registry models behind the slices
+// (classes collapse many models, but switching follows model identity).
+SubpoolPrediction PredictSubpool(const GpuSpec& gpu, int gpus,
+                                 const std::vector<AssignedSlice>& slices,
+                                 double decode_utilization, int distinct_models,
+                                 Duration qmax = 4.0);
+
+// The paper's 3:5 prefill:decode split, rounded with both sides >= 1.
+void SplitPool(int gpus, int* prefill, int* decode);
+
+}  // namespace aegaeon
+
+#endif  // AEGAEON_PLANNER_QUEUEING_H_

@@ -1,0 +1,606 @@
+#include "planner/solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace aegaeon {
+namespace {
+
+// One slice_factor-th of a (model, bucket) cell's rate.
+struct SliceUnit {
+  ModelId model = kInvalidModel;
+  int bucket = 0;
+  double rate = 0.0;
+  double sort_load = 0.0;  // load on its best option, for best-fit-decreasing
+};
+
+std::string FormatBucket(const BucketGrid& grid, int bucket) {
+  int ib = bucket / grid.outputs();
+  int ob = bucket % grid.outputs();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "(in<=%lld, out<=%lld)",
+                static_cast<long long>(grid.input_edges[ib]),
+                static_cast<long long>(grid.output_edges[ob]));
+  return std::string(buf);
+}
+
+// tput[o][m * buckets + b]: req/s per GPU; <= 0 means unusable (model does
+// not fit the GPU, or the SLO is unattainable even near idle).
+std::vector<std::vector<double>> BuildTput(const ModelRegistry& registry,
+                                           const ThroughputProfile& profile,
+                                           const std::vector<GpuOption>& options,
+                                           int num_models, int buckets) {
+  const int num_options = static_cast<int>(options.size());
+  std::vector<std::vector<double>> tput(num_options,
+                                        std::vector<double>(num_models * buckets, 0.0));
+  for (int o = 0; o < num_options; ++o) {
+    for (int m = 0; m < num_models; ++m) {
+      const std::string cls = ModelClassOf(registry.Get(m).spec.name);
+      const ProfileEntry* entry = profile.Find(options[o].spec.name, cls);
+      if (entry == nullptr || !entry->fits) {
+        continue;
+      }
+      for (int b = 0; b < buckets; ++b) {
+        double t = b < static_cast<int>(entry->tput.size()) ? entry->tput[b] : 0.0;
+        tput[o][m * buckets + b] = t > 0.0 ? t : 0.0;
+      }
+    }
+  }
+  return tput;
+}
+
+}  // namespace
+
+// Result of packing all slices into a fixed composition.
+struct Solver::Pack {
+  bool ok = false;
+  int grow_hint = -1;          // option to grow when !ok; -1 = nothing helps
+  std::string fail_reason;     // set when no growth can help
+  double cost = 0.0;
+  std::vector<double> used;    // load per option, in GPU units
+  std::vector<SubpoolPlan> subpools;
+};
+
+Solver::Solver(const ModelRegistry& registry, const ThroughputProfile& profile,
+               std::vector<GpuOption> options)
+    : registry_(registry), profile_(profile), options_(std::move(options)) {}
+
+PoolPlan Solver::Solve(const WorkloadMatrix& matrix, const SolverOptions& opts) const {
+  PoolPlan plan;
+  const int num_options = static_cast<int>(options_.size());
+  plan.counts.assign(num_options, 0);
+  if (num_options == 0) {
+    plan.infeasible_reason = "no GPU options supplied";
+    return plan;
+  }
+  const int buckets = matrix.grid.buckets();
+  const int num_models = static_cast<int>(
+      std::min(registry_.size(), matrix.model_bucket_rate.size()));
+
+  std::vector<double> scale(num_options, 1.0);
+  for (int o = 0; o < num_options && o < static_cast<int>(opts.capacity_scale.size()); ++o) {
+    if (opts.capacity_scale[o] > 0.0) {
+      scale[o] = opts.capacity_scale[o];
+    }
+  }
+  // Per-option floors (closed-loop feedback): a floor of 1 still means 2 —
+  // a subpool needs at least one prefill and one decode GPU.
+  std::vector<int> floor_count(num_options, 0);
+  for (int o = 0; o < num_options && o < static_cast<int>(opts.min_count.size()); ++o) {
+    if (opts.min_count[o] > 0) {
+      floor_count[o] = std::min(options_[o].max_count, std::max(2, opts.min_count[o]));
+    }
+  }
+
+  std::vector<std::vector<double>> tput =
+      BuildTput(registry_, profile_, options_, num_models, buckets);
+
+  // Dominance elimination: option A is dominated by a no-more-expensive
+  // option B that is at least as capable on every loaded cell (and at least
+  // as stockable). Dominated options are frozen at count 0.
+  std::vector<bool> usable(num_options, true);
+  for (int a = 0; a < num_options; ++a) {
+    for (int b = 0; b < num_options; ++b) {
+      if (a == b || !usable[a] || !usable[b]) {
+        continue;
+      }
+      if (options_[b].CostPerHour() > options_[a].CostPerHour() ||
+          options_[b].max_count < options_[a].max_count) {
+        continue;
+      }
+      bool covers = true;
+      bool strictly_better = options_[b].CostPerHour() < options_[a].CostPerHour();
+      for (int m = 0; m < num_models && covers; ++m) {
+        for (int bk = 0; bk < buckets; ++bk) {
+          if (matrix.Rate(m, bk) <= 0.0) {
+            continue;
+          }
+          double ta = tput[a][m * buckets + bk];
+          double tb = tput[b][m * buckets + bk];
+          if (ta > 0.0 && tb < ta) {
+            covers = false;
+            break;
+          }
+          if (tb > ta) {
+            strictly_better = true;
+          }
+        }
+      }
+      if (covers && strictly_better) {
+        usable[a] = false;
+        plan.eliminated.push_back(options_[a].spec.name + " dominated by " +
+                                  options_[b].spec.name);
+      }
+    }
+  }
+
+  // Up-front fit check: a model with load must fit somewhere.
+  for (int m = 0; m < num_models; ++m) {
+    if (matrix.model_rate[m] <= 0.0) {
+      continue;
+    }
+    bool fits_any = false;
+    for (int o = 0; o < num_options && !fits_any; ++o) {
+      if (!usable[o]) {
+        continue;
+      }
+      for (int b = 0; b < buckets; ++b) {
+        if (matrix.Rate(m, b) > 0.0 && tput[o][m * buckets + b] > 0.0) {
+          fits_any = true;
+          break;
+        }
+      }
+    }
+    if (!fits_any) {
+      const DeployedModel& model = registry_.Get(m);
+      plan.infeasible_reason = "model " + model.spec.name + " (class " +
+                               ModelClassOf(model.spec.name) +
+                               ") is unservable on every GPU option";
+      return plan;
+    }
+  }
+
+  // Slice the loaded cells.
+  const int slice_factor = std::max(1, opts.slice_factor);
+  std::vector<SliceUnit> slices;
+  for (int m = 0; m < num_models; ++m) {
+    for (int b = 0; b < buckets; ++b) {
+      double rate = matrix.Rate(m, b);
+      if (rate <= 0.0) {
+        continue;
+      }
+      SliceUnit unit;
+      unit.model = static_cast<ModelId>(m);
+      unit.bucket = b;
+      unit.rate = rate / slice_factor;
+      double best = std::numeric_limits<double>::infinity();
+      for (int o = 0; o < num_options; ++o) {
+        double t = tput[o][m * buckets + b];
+        if (usable[o] && t > 0.0) {
+          best = std::min(best, unit.rate * scale[o] / t);
+        }
+      }
+      unit.sort_load = std::isfinite(best) ? best : 0.0;
+      for (int s = 0; s < slice_factor; ++s) {
+        slices.push_back(unit);
+      }
+    }
+  }
+  if (slices.empty()) {
+    plan.feasible = true;
+    return plan;
+  }
+  std::stable_sort(slices.begin(), slices.end(), [](const SliceUnit& x, const SliceUnit& y) {
+    if (x.sort_load != y.sort_load) {
+      return x.sort_load > y.sort_load;  // big pieces first
+    }
+    if (x.model != y.model) {
+      return x.model < y.model;
+    }
+    return x.bucket < y.bucket;
+  });
+
+  const double rho_max = std::min(0.95, std::max(0.05, opts.rho_max));
+
+  // Packs `counts`; best-fit-decreasing with a load-balance objective, then
+  // the queueing feasibility check per subpool.
+  auto pack = [&](const std::vector<int>& counts) {
+    Pack result;
+    result.used.assign(num_options, 0.0);
+    // cell_rate[o][m * buckets + b]: real (uninflated) rate routed to o.
+    std::vector<std::vector<double>> cell_rate(
+        num_options, std::vector<double>(num_models * buckets, 0.0));
+    for (const SliceUnit& unit : slices) {
+      const int cell = static_cast<int>(unit.model) * buckets + unit.bucket;
+      // Cheapest capable option with room (cost per unit of served rate).
+      // Concentrating — rather than balancing — matters twice over: spill
+      // happens only when the efficient pool is genuinely full, and slices
+      // of one model gravitate to one subpool, keeping the per-subpool
+      // model working set (and thus switching) small.
+      int best = -1;
+      double best_cost = std::numeric_limits<double>::infinity();
+      for (int o = 0; o < num_options; ++o) {
+        if (counts[o] <= 0 || tput[o][cell] <= 0.0) {
+          continue;
+        }
+        double load = unit.rate * scale[o] / tput[o][cell];
+        double util = (result.used[o] + load) / counts[o];
+        double cost_per_rate = options_[o].CostPerHour() / tput[o][cell];
+        if (util <= rho_max && cost_per_rate < best_cost) {
+          best_cost = cost_per_rate;
+          best = o;
+        }
+      }
+      if (best < 0) {
+        // Nothing has room: grow the cheapest-per-capacity capable option.
+        double best_cost = std::numeric_limits<double>::infinity();
+        for (int o = 0; o < num_options; ++o) {
+          if (!usable[o] || tput[o][cell] <= 0.0 || counts[o] >= options_[o].max_count) {
+            continue;
+          }
+          double cost_per_rate = options_[o].CostPerHour() / tput[o][cell];
+          if (cost_per_rate < best_cost) {
+            best_cost = cost_per_rate;
+            result.grow_hint = o;
+          }
+        }
+        if (result.grow_hint < 0) {
+          bool capable = false;
+          for (int o = 0; o < num_options && !capable; ++o) {
+            capable = usable[o] && tput[o][cell] > 0.0;
+          }
+          const DeployedModel& model = registry_.Get(unit.model);
+          result.fail_reason =
+              "bucket " + FormatBucket(matrix.grid, unit.bucket) + " of model " +
+              model.spec.name +
+              (capable ? " exceeds every option's max_count"
+                       : " is unservable on every GPU option");
+        }
+        return result;
+      }
+      result.used[best] += unit.rate * scale[best] / tput[best][cell];
+      cell_rate[best][cell] += unit.rate;
+    }
+
+    // Queueing feasibility per subpool.
+    for (int o = 0; o < num_options; ++o) {
+      if (counts[o] <= 0) {
+        continue;
+      }
+      SubpoolPlan sub;
+      sub.option = o;
+      sub.gpus = counts[o];
+      SplitPool(counts[o], &sub.prefill, &sub.decode);
+      sub.utilization = result.used[o] / counts[o];
+      std::vector<AssignedSlice> assigned;
+      int distinct_models = 0;
+      for (int m = 0; m < num_models; ++m) {
+        bool any = false;
+        for (int b = 0; b < buckets; ++b) {
+          double rate = cell_rate[o][m * buckets + b];
+          if (rate <= 0.0) {
+            continue;
+          }
+          any = true;
+          sub.assigned_rate += rate;
+          sub.slices.push_back(PlannedSlice{static_cast<ModelId>(m), b, rate});
+          const DeployedModel& model = registry_.Get(m);
+          AssignedSlice slice;
+          slice.spec = &model.spec;
+          slice.tp = model.tp;
+          slice.rate = rate * scale[o];  // predict against inflated load
+          slice.prompt_tokens = matrix.PromptRepOf(b);
+          slice.output_tokens = matrix.OutputRepOf(b);
+          slice.slo = model.slo;
+          assigned.push_back(slice);
+        }
+        if (any) {
+          ++distinct_models;
+        }
+      }
+      sub.prediction = PredictSubpool(options_[o].spec, counts[o], assigned,
+                                      sub.utilization, distinct_models, opts.qmax);
+      if (!sub.prediction.MeetsSlo()) {
+        if (counts[o] < options_[o].max_count) {
+          result.grow_hint = o;
+        } else {
+          result.fail_reason = "subpool " + options_[o].spec.name +
+                               " misses its SLO prediction at max_count";
+        }
+        return result;
+      }
+      result.subpools.push_back(std::move(sub));
+    }
+    result.ok = true;
+    for (int o = 0; o < num_options; ++o) {
+      result.cost += counts[o] * options_[o].CostPerHour();
+    }
+    return result;
+  };
+
+  auto grow = [&](std::vector<int>& counts, int o) {
+    counts[o] = counts[o] == 0 ? 2 : counts[o] + 1;
+  };
+
+  // Greedy initialization: route each cell to its cheapest capable option
+  // and right-size the counts for rho_max utilization.
+  std::vector<double> demand(num_options, 0.0);
+  for (int m = 0; m < num_models; ++m) {
+    for (int b = 0; b < buckets; ++b) {
+      double rate = matrix.Rate(m, b);
+      if (rate <= 0.0) {
+        continue;
+      }
+      int best = -1;
+      double best_cost = std::numeric_limits<double>::infinity();
+      for (int o = 0; o < num_options; ++o) {
+        double t = tput[o][m * buckets + b];
+        if (!usable[o] || t <= 0.0) {
+          continue;
+        }
+        double cost_per_rate = options_[o].CostPerHour() / t;
+        if (cost_per_rate < best_cost) {
+          best_cost = cost_per_rate;
+          best = o;
+        }
+      }
+      if (best >= 0) {
+        demand[best] += rate * scale[best] / tput[best][m * buckets + b];
+      }
+    }
+  }
+  std::vector<int> counts(num_options, 0);
+  for (int o = 0; o < num_options; ++o) {
+    if (demand[o] <= 0.0 && floor_count[o] <= 0) {
+      continue;
+    }
+    counts[o] = std::max(2, static_cast<int>(std::ceil(demand[o] / rho_max)));
+    counts[o] = std::max(counts[o], floor_count[o]);
+    counts[o] = std::min(counts[o], options_[o].max_count);
+  }
+
+  int budget = std::max(16, opts.max_iters);
+  Pack current = pack(counts);
+  --budget;
+  while (!current.ok && budget > 0) {
+    if (current.grow_hint < 0) {
+      plan.infeasible_reason = current.fail_reason.empty()
+                                   ? "no feasible pool within max_count limits"
+                                   : current.fail_reason;
+      return plan;
+    }
+    grow(counts, current.grow_hint);
+    current = pack(counts);
+    --budget;
+  }
+  if (!current.ok) {
+    plan.infeasible_reason = "solver iteration budget exhausted before feasibility";
+    return plan;
+  }
+
+  // Local search, first-improvement: close a subpool outright, shrink one
+  // option, or shift a GPU from one option to another when that lowers
+  // cost. A count of 1 is invalid (a subpool needs prefill + decode), so
+  // decrements from 2 drop to 0. The close move matters because shrinking
+  // an uneconomic pool one GPU at a time requires every intermediate
+  // composition to pack feasibly, which often is not the case.
+  bool improved = true;
+  while (improved && budget > 0) {
+    improved = false;
+    for (int o = 0; o < num_options && !improved && budget > 0; ++o) {
+      if (counts[o] <= 2 || floor_count[o] > 0) {
+        continue;
+      }
+      std::vector<int> close = counts;
+      close[o] = 0;
+      Pack attempt = pack(close);
+      --budget;
+      if (attempt.ok && attempt.cost < current.cost) {
+        counts = close;
+        current = std::move(attempt);
+        improved = true;
+      }
+    }
+    for (int o = 0; o < num_options && !improved && budget > 0; ++o) {
+      if (counts[o] <= 0) {
+        continue;
+      }
+      std::vector<int> trial = counts;
+      trial[o] = trial[o] == 2 ? 0 : trial[o] - 1;
+      if (trial[o] < floor_count[o]) {
+        continue;
+      }
+      Pack attempt = pack(trial);
+      --budget;
+      if (attempt.ok && attempt.cost < current.cost) {
+        counts = trial;
+        current = std::move(attempt);
+        improved = true;
+        break;
+      }
+      for (int p = 0; p < num_options && !improved && budget > 0; ++p) {
+        if (p == o || !usable[p]) {
+          continue;
+        }
+        for (int inc = 1; inc <= 2 && !improved && budget > 0; ++inc) {
+          std::vector<int> swap = trial;
+          swap[p] = swap[p] == 0 ? std::max(2, inc) : swap[p] + inc;
+          if (swap[p] > options_[p].max_count) {
+            continue;
+          }
+          double cost = 0.0;
+          for (int q = 0; q < num_options; ++q) {
+            cost += swap[q] * options_[q].CostPerHour();
+          }
+          if (cost >= current.cost) {
+            continue;
+          }
+          Pack attempt2 = pack(swap);
+          --budget;
+          if (attempt2.ok && attempt2.cost < current.cost) {
+            counts = swap;
+            current = std::move(attempt2);
+            improved = true;
+          }
+        }
+      }
+    }
+  }
+
+  plan.feasible = true;
+  plan.counts = counts;
+  plan.cost_per_hour = current.cost;
+  plan.subpools = std::move(current.subpools);
+  return plan;
+}
+
+PoolPlan Solver::Repack(const WorkloadMatrix& matrix, const SolverOptions& opts,
+                        const std::vector<int>& fixed) const {
+  PoolPlan plan;
+  const int num_options = static_cast<int>(options_.size());
+  plan.counts.assign(num_options, 0);
+  for (int o = 0; o < num_options && o < static_cast<int>(fixed.size()); ++o) {
+    plan.counts[o] = std::max(0, fixed[o]);
+  }
+  if (num_options == 0) {
+    plan.infeasible_reason = "no GPU options supplied";
+    return plan;
+  }
+  const int buckets = matrix.grid.buckets();
+  const int num_models = static_cast<int>(
+      std::min(registry_.size(), matrix.model_bucket_rate.size()));
+
+  std::vector<double> scale(num_options, 1.0);
+  for (int o = 0; o < num_options && o < static_cast<int>(opts.capacity_scale.size()); ++o) {
+    if (opts.capacity_scale[o] > 0.0) {
+      scale[o] = opts.capacity_scale[o];
+    }
+  }
+  std::vector<std::vector<double>> tput =
+      BuildTput(registry_, profile_, options_, num_models, buckets);
+  const double rho_max = std::min(0.95, std::max(0.05, opts.rho_max));
+  const int slice_factor = std::max(1, opts.slice_factor);
+
+  std::vector<SliceUnit> slices;
+  for (int m = 0; m < num_models; ++m) {
+    for (int b = 0; b < buckets; ++b) {
+      double rate = matrix.Rate(m, b);
+      if (rate <= 0.0) {
+        continue;
+      }
+      SliceUnit unit;
+      unit.model = static_cast<ModelId>(m);
+      unit.bucket = b;
+      unit.rate = rate / slice_factor;
+      double best = std::numeric_limits<double>::infinity();
+      for (int o = 0; o < num_options; ++o) {
+        double t = tput[o][m * buckets + b];
+        if (plan.counts[o] > 0 && t > 0.0) {
+          best = std::min(best, unit.rate * scale[o] / t);
+        }
+      }
+      unit.sort_load = std::isfinite(best) ? best : 0.0;
+      for (int s = 0; s < slice_factor; ++s) {
+        slices.push_back(unit);
+      }
+    }
+  }
+  std::stable_sort(slices.begin(), slices.end(), [](const SliceUnit& x, const SliceUnit& y) {
+    if (x.sort_load != y.sort_load) {
+      return x.sort_load > y.sort_load;
+    }
+    if (x.model != y.model) {
+      return x.model < y.model;
+    }
+    return x.bucket < y.bucket;
+  });
+
+  // Same cheapest-capable-first placement as Solve's packer, but with a
+  // spill path instead of a veto: when nothing has headroom, the slice goes
+  // to the least-overloaded capable subpool and the replay decides.
+  std::vector<double> used(num_options, 0.0);
+  std::vector<std::vector<double>> cell_rate(
+      num_options, std::vector<double>(num_models * buckets, 0.0));
+  for (const SliceUnit& unit : slices) {
+    const int cell = static_cast<int>(unit.model) * buckets + unit.bucket;
+    int best = -1;
+    double best_cost = std::numeric_limits<double>::infinity();
+    int spill = -1;
+    double spill_util = std::numeric_limits<double>::infinity();
+    for (int o = 0; o < num_options; ++o) {
+      if (plan.counts[o] <= 0 || tput[o][cell] <= 0.0) {
+        continue;
+      }
+      double load = unit.rate * scale[o] / tput[o][cell];
+      double util = (used[o] + load) / plan.counts[o];
+      double cost_per_rate = options_[o].CostPerHour() / tput[o][cell];
+      if (util <= rho_max && cost_per_rate < best_cost) {
+        best_cost = cost_per_rate;
+        best = o;
+      }
+      if (util < spill_util) {
+        spill_util = util;
+        spill = o;
+      }
+    }
+    int target = best >= 0 ? best : spill;
+    if (target < 0) {
+      const DeployedModel& model = registry_.Get(unit.model);
+      plan.infeasible_reason = "bucket " + FormatBucket(matrix.grid, unit.bucket) +
+                               " of model " + model.spec.name +
+                               " is unservable on the fixed composition";
+      return plan;
+    }
+    used[target] += unit.rate * scale[target] / tput[target][cell];
+    cell_rate[target][cell] += unit.rate;
+  }
+
+  for (int o = 0; o < num_options; ++o) {
+    if (plan.counts[o] <= 0) {
+      continue;
+    }
+    SubpoolPlan sub;
+    sub.option = o;
+    sub.gpus = plan.counts[o];
+    SplitPool(sub.gpus, &sub.prefill, &sub.decode);
+    sub.utilization = used[o] / plan.counts[o];
+    std::vector<AssignedSlice> assigned;
+    int distinct_models = 0;
+    for (int m = 0; m < num_models; ++m) {
+      bool any = false;
+      for (int b = 0; b < buckets; ++b) {
+        double rate = cell_rate[o][m * buckets + b];
+        if (rate <= 0.0) {
+          continue;
+        }
+        any = true;
+        sub.assigned_rate += rate;
+        sub.slices.push_back(PlannedSlice{static_cast<ModelId>(m), b, rate});
+        const DeployedModel& model = registry_.Get(m);
+        AssignedSlice slice;
+        slice.spec = &model.spec;
+        slice.tp = model.tp;
+        slice.rate = rate * scale[o];
+        slice.prompt_tokens = matrix.PromptRepOf(b);
+        slice.output_tokens = matrix.OutputRepOf(b);
+        slice.slo = model.slo;
+        assigned.push_back(slice);
+      }
+      if (any) {
+        ++distinct_models;
+      }
+    }
+    sub.prediction = PredictSubpool(options_[o].spec, sub.gpus, assigned,
+                                    sub.utilization, distinct_models, opts.qmax);
+    plan.subpools.push_back(std::move(sub));
+  }
+  plan.feasible = true;
+  for (int o = 0; o < num_options; ++o) {
+    plan.cost_per_hour += plan.counts[o] * options_[o].CostPerHour();
+  }
+  return plan;
+}
+
+}  // namespace aegaeon

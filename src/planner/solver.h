@@ -1,0 +1,113 @@
+// Pool-composition solver: the Melange formulation (workload matrix x
+// per-GPU throughput profile x $/hr) solved by deterministic greedy
+// construction plus local search over integer GPU counts — no external ILP
+// dependency. Feasibility of a candidate composition is checked by packing
+// workload slices into per-GPU-type subpools under a utilization ceiling
+// and passing each subpool through the M/G/c queueing predictions
+// (planner/queueing.h).
+
+#ifndef AEGAEON_PLANNER_SOLVER_H_
+#define AEGAEON_PLANNER_SOLVER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/gpu_spec.h"
+#include "model/registry.h"
+#include "planner/queueing.h"
+#include "planner/throughput_profile.h"
+#include "planner/workload_matrix.h"
+
+namespace aegaeon {
+
+// A purchasable GPU type. Cost comes from spec.cost_per_hour; a zero
+// (unset) cost falls back to 1.0 so a cost-less run minimizes GPU count.
+struct GpuOption {
+  GpuSpec spec;
+  int max_count = 256;
+
+  double CostPerHour() const {
+    return spec.cost_per_hour > 0.0 ? spec.cost_per_hour : 1.0;
+  }
+};
+
+struct SolverOptions {
+  // Utilization ceiling per subpool: the queueing headroom reserved for
+  // burstiness and model switching.
+  double rho_max = 0.70;
+  // Each (model, bucket) cell splits into this many equal slices so load
+  // can fractionally span GPU types (Melange's slice factor).
+  int slice_factor = 4;
+  // Closed-loop load inflation per option (Planner::Solve feedback);
+  // empty means 1.0 everywhere. Corrects load-bound SLO misses.
+  std::vector<double> capacity_scale;
+  // Closed-loop per-option GPU floors; empty means no floor. Corrects
+  // switch-bound misses (low utilization but too few instances to keep the
+  // working set of models resident) that load inflation cannot reach.
+  std::vector<int> min_count;
+  // Construction/local-search iteration cap.
+  int max_iters = 400;
+  // Decode quota (for the queueing switch-share term); matches
+  // AegaeonConfig::qmax.
+  Duration qmax = 4.0;
+};
+
+// A (model, bucket) load share routed to one subpool.
+struct PlannedSlice {
+  ModelId model = kInvalidModel;
+  int bucket = 0;
+  double rate = 0.0;
+};
+
+struct SubpoolPlan {
+  int option = -1;  // index into the solver's GpuOption list
+  int gpus = 0;
+  int prefill = 0;
+  int decode = 0;
+  double assigned_rate = 0.0;        // req/s routed here (uninflated)
+  double utilization = 0.0;          // load / capacity at rho_max scaling
+  SubpoolPrediction prediction;
+  std::vector<PlannedSlice> slices;  // merged per (model, bucket)
+};
+
+struct PoolPlan {
+  bool feasible = false;
+  std::string infeasible_reason;
+  std::vector<int> counts;  // per option, index-aligned with the option list
+  double cost_per_hour = 0.0;
+  std::vector<SubpoolPlan> subpools;  // options with counts > 0, by option index
+  // Dominated-option audit: "<name> dominated by <name>".
+  std::vector<std::string> eliminated;
+};
+
+class Solver {
+ public:
+  Solver(const ModelRegistry& registry, const ThroughputProfile& profile,
+         std::vector<GpuOption> options);
+
+  // Deterministic: identical inputs produce an identical plan.
+  PoolPlan Solve(const WorkloadMatrix& matrix, const SolverOptions& options) const;
+
+  // Packs the workload into a fixed composition: no queueing veto, no
+  // growth, overflow spills onto the least-loaded capable subpool. Returns
+  // feasible=false only when a loaded cell has no capable option with a
+  // positive count. This powers the closed loop's replay-driven descent —
+  // candidate compositions below the analytic feasibility frontier are
+  // packed here and judged by the simulator instead of the queueing model.
+  PoolPlan Repack(const WorkloadMatrix& matrix, const SolverOptions& options,
+                  const std::vector<int>& counts) const;
+
+  const std::vector<GpuOption>& options() const { return options_; }
+
+ private:
+  struct Pack;  // packing result (internal)
+
+  const ModelRegistry& registry_;
+  const ThroughputProfile& profile_;
+  std::vector<GpuOption> options_;
+};
+
+}  // namespace aegaeon
+
+#endif  // AEGAEON_PLANNER_SOLVER_H_

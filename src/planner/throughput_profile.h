@@ -1,0 +1,107 @@
+// Throughput profiler: measures, for each (GPU preset, model class,
+// request-size bucket), the maximum per-GPU request rate an Aegaeon
+// instance pair sustains while meeting the token-level SLO — the `tputs`
+// matrix of the Melange formulation, produced by short calibration
+// simulations instead of hardware profiling.
+//
+// A calibration point runs a minimal Aegaeon cell (1 prefill + 1 decode
+// instance) serving a single model whose requests all have the bucket's
+// representative lengths, injected as one saturating burst; the measured
+// completions-per-second over the makespan is the pair's service capacity,
+// divided by the pair's GPU count to give req/s per GPU. Whether a given
+// arrival rate below that capacity also meets the token-level SLOs is
+// deliberately NOT answered here — that is the queueing layer's question
+// (planner/queueing.h, which also reintroduces the model switching a
+// single-model calibration cannot see), and the closed loop
+// (planner/planner.h) certifies the answer against the real simulator.
+//
+// Profiles are cached as JSON keyed by (GPU, class, grid); calibration is
+// deterministic, so a cache hit and a fresh run produce bit-identical
+// solver inputs.
+
+#ifndef AEGAEON_PLANNER_THROUGHPUT_PROFILE_H_
+#define AEGAEON_PLANNER_THROUGHPUT_PROFILE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/config.h"
+#include "hw/gpu_spec.h"
+#include "model/registry.h"
+#include "planner/workload_matrix.h"
+
+namespace aegaeon {
+
+// Model "class": registry models dedupe to their preset family (the name
+// before the '#i' uniquifier) — same weights, same latency profile.
+std::string ModelClassOf(const std::string& model_name);
+
+// Aegaeon cell configuration sized for `gpu`: the defaults assume an 80 GB
+// part, so smaller GPUs scale the weight buffer / GPU-KV regions down to
+// fit VRAM (mirroring the Figure 17 A10 configuration) and disable
+// prefetch when there is no headroom for a second resident model.
+AegaeonConfig PlannerConfigForGpu(const GpuSpec& gpu, int prefill_instances,
+                                  int decode_instances);
+
+struct ProfileEntry {
+  std::string gpu;          // GpuSpec::name
+  std::string model_class;  // ModelClassOf(model name)
+  bool fits = false;        // weight shard fits the GPU's weight buffer
+  // Max req/s per GPU for each flattened bucket; kUnprofiled for buckets
+  // the profiler was not asked about (no load there).
+  std::vector<double> tput;
+
+  static constexpr double kUnprofiled = -1.0;
+};
+
+struct ThroughputProfile {
+  BucketGrid grid;
+  double target_attainment = 0.0;
+  std::vector<ProfileEntry> entries;  // sorted by (gpu, model_class)
+
+  const ProfileEntry* Find(const std::string& gpu, const std::string& model_class) const;
+  // Throughput for a (gpu, class, bucket); 0 when the class does not fit
+  // the GPU, kUnprofiled when the point was never calibrated.
+  double Tput(const std::string& gpu, const std::string& model_class, int bucket) const;
+};
+
+struct ProfilerOptions {
+  // Recorded into the profile (cache key): the attainment bar the produced
+  // plan is later certified against.
+  double target_attainment = 0.90;
+  // Size of the saturating burst per calibration point. Larger smooths the
+  // prefill warm-up out of the capacity estimate; 48 keeps a full 4x4 grid
+  // calibration under a second.
+  int requests_per_run = 48;
+};
+
+// Calibrates every (gpu, model class, bucket) combination that carries
+// load in `matrix`. Model classes and their SLOs come from `registry`.
+ThroughputProfile ProfileThroughput(const std::vector<GpuSpec>& gpus,
+                                    const ModelRegistry& registry, const WorkloadMatrix& matrix,
+                                    const ProfilerOptions& options);
+
+// One calibration point (exposed for tests): saturated req/s per GPU of a
+// 1-prefill + 1-decode pair of `gpu` serving `spec` at TP degree `tp` with
+// all requests at (prompt_tokens, output_tokens). Returns 0 when even a
+// lone request on an idle pair misses its deadlines.
+double CalibratePoint(const GpuSpec& gpu, const ModelSpec& spec, int tp, const SloSpec& slo,
+                      int64_t prompt_tokens, int64_t output_tokens,
+                      const ProfilerOptions& options);
+
+// JSON cache. Save writes the full profile; Load returns false on missing
+// file, schema mismatch, or a grid that differs from `expected_grid` (the
+// caller then re-profiles). Doubles round-trip exactly.
+bool SaveProfileJson(const std::string& path, const ThroughputProfile& profile);
+bool LoadProfileJson(const std::string& path, const BucketGrid& expected_grid,
+                     ThroughputProfile& profile);
+void WriteProfileJson(std::ostream& os, const ThroughputProfile& profile);
+bool ReadProfileJson(std::istream& is, ThroughputProfile& profile);
+
+}  // namespace aegaeon
+
+#endif  // AEGAEON_PLANNER_THROUGHPUT_PROFILE_H_

@@ -1,0 +1,128 @@
+#include "planner/workload_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+namespace aegaeon {
+
+BucketGrid BucketGrid::Default() {
+  BucketGrid grid;
+  grid.input_edges = {64, 256, 1024, 8192};
+  grid.output_edges = {64, 256, 1024, 4096};
+  return grid;
+}
+
+namespace {
+
+int BandOf(const std::vector<int64_t>& edges, int64_t tokens) {
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (tokens <= edges[i]) {
+      return static_cast<int>(i);
+    }
+  }
+  return static_cast<int>(edges.size()) - 1;  // clamp into the last band
+}
+
+int64_t RepOf(const std::vector<int64_t>& edges, int band) {
+  int64_t hi = edges[static_cast<size_t>(band)];
+  int64_t lo = band == 0 ? 1 : edges[static_cast<size_t>(band) - 1] + 1;
+  double rep = std::sqrt(static_cast<double>(lo) * static_cast<double>(hi));
+  return std::max<int64_t>(1, static_cast<int64_t>(std::llround(rep)));
+}
+
+}  // namespace
+
+int BucketGrid::InputBucket(int64_t tokens) const { return BandOf(input_edges, tokens); }
+int BucketGrid::OutputBucket(int64_t tokens) const { return BandOf(output_edges, tokens); }
+
+int BucketGrid::BucketOf(int64_t prompt_tokens, int64_t output_tokens) const {
+  return InputBucket(prompt_tokens) * outputs() + OutputBucket(output_tokens);
+}
+
+int64_t BucketGrid::InputRep(int input_bucket) const { return RepOf(input_edges, input_bucket); }
+int64_t BucketGrid::OutputRep(int output_bucket) const { return RepOf(output_edges, output_bucket); }
+
+int64_t WorkloadMatrix::PromptRepOf(int bucket) const {
+  double mean = bucket_mean_prompt[static_cast<size_t>(bucket)];
+  if (mean > 0.0) {
+    return std::max<int64_t>(1, static_cast<int64_t>(std::llround(mean)));
+  }
+  return grid.InputRep(bucket / grid.outputs());
+}
+
+int64_t WorkloadMatrix::OutputRepOf(int bucket) const {
+  double mean = bucket_mean_output[static_cast<size_t>(bucket)];
+  if (mean > 0.0) {
+    return std::max<int64_t>(1, static_cast<int64_t>(std::llround(mean)));
+  }
+  return grid.OutputRep(bucket % grid.outputs());
+}
+
+WorkloadMatrix BuildWorkloadMatrix(const std::vector<ArrivalEvent>& trace, double horizon,
+                                   size_t model_count, const BucketGrid& grid) {
+  WorkloadMatrix matrix;
+  matrix.grid = grid;
+  matrix.horizon = horizon;
+  size_t buckets = static_cast<size_t>(grid.buckets());
+  matrix.model_bucket_rate.assign(model_count, std::vector<double>(buckets, 0.0));
+  matrix.bucket_rate.assign(buckets, 0.0);
+  matrix.model_rate.assign(model_count, 0.0);
+  matrix.bucket_mean_prompt.assign(buckets, 0.0);
+  matrix.bucket_mean_output.assign(buckets, 0.0);
+  if (horizon <= 0.0) {
+    return matrix;
+  }
+  std::vector<uint64_t> bucket_counts(buckets, 0);
+  for (const ArrivalEvent& event : trace) {
+    if (event.model >= model_count) {
+      continue;
+    }
+    size_t bucket = static_cast<size_t>(grid.BucketOf(event.prompt_tokens, event.output_tokens));
+    matrix.requests++;
+    matrix.model_bucket_rate[event.model][bucket] += 1.0;
+    bucket_counts[bucket]++;
+    matrix.bucket_mean_prompt[bucket] += static_cast<double>(event.prompt_tokens);
+    matrix.bucket_mean_output[bucket] += static_cast<double>(event.output_tokens);
+  }
+  for (size_t b = 0; b < buckets; ++b) {
+    if (bucket_counts[b] > 0) {
+      matrix.bucket_mean_prompt[b] /= static_cast<double>(bucket_counts[b]);
+      matrix.bucket_mean_output[b] /= static_cast<double>(bucket_counts[b]);
+    }
+  }
+  for (size_t m = 0; m < model_count; ++m) {
+    for (size_t b = 0; b < buckets; ++b) {
+      matrix.model_bucket_rate[m][b] /= horizon;
+      matrix.bucket_rate[b] += matrix.model_bucket_rate[m][b];
+      matrix.model_rate[m] += matrix.model_bucket_rate[m][b];
+    }
+    matrix.total_rate += matrix.model_rate[m];
+  }
+  return matrix;
+}
+
+void WriteMatrixCsv(std::ostream& os, const WorkloadMatrix& matrix) {
+  os << "model,input_lo,input_hi,output_lo,output_hi,rate_rps,mean_prompt,mean_output\n";
+  os.precision(9);
+  const BucketGrid& grid = matrix.grid;
+  for (size_t m = 0; m < matrix.model_bucket_rate.size(); ++m) {
+    for (int i = 0; i < grid.inputs(); ++i) {
+      for (int j = 0; j < grid.outputs(); ++j) {
+        int bucket = i * grid.outputs() + j;
+        double rate = matrix.model_bucket_rate[m][static_cast<size_t>(bucket)];
+        if (rate <= 0.0) {
+          continue;
+        }
+        int64_t in_lo = i == 0 ? 1 : grid.input_edges[static_cast<size_t>(i) - 1] + 1;
+        int64_t out_lo = j == 0 ? 1 : grid.output_edges[static_cast<size_t>(j) - 1] + 1;
+        os << m << ',' << in_lo << ',' << grid.input_edges[static_cast<size_t>(i)] << ','
+           << out_lo << ',' << grid.output_edges[static_cast<size_t>(j)] << ',' << rate << ','
+           << matrix.bucket_mean_prompt[static_cast<size_t>(bucket)] << ','
+           << matrix.bucket_mean_output[static_cast<size_t>(bucket)] << '\n';
+      }
+    }
+  }
+}
+
+}  // namespace aegaeon

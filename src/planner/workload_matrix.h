@@ -1,0 +1,91 @@
+// Workload profiler (Melange-style): reduces an arrival trace to a
+// distribution matrix of request rates over (input-size x output-size)
+// buckets, kept per model so the solver can respect model-fit constraints
+// (a 13B model cannot be placed on a 24 GB GPU no matter how short its
+// requests are).
+//
+// The bucket grid is deliberately coarse — a handful of geometric bands per
+// axis — because every occupied (model-class, bucket) cell is calibrated by
+// a short simulation (planner/throughput_profile.h); a Melange-resolution
+// grid would multiply calibration cost without changing pool decisions.
+
+#ifndef AEGAEON_PLANNER_WORKLOAD_MATRIX_H_
+#define AEGAEON_PLANNER_WORKLOAD_MATRIX_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "core/request.h"
+
+namespace aegaeon {
+
+// Geometric (input x output) token-size bands. Bucket i covers
+// (edge[i-1], edge[i]] with an implicit lower edge of 0; the last edge is
+// the clamp ceiling, so every request falls in exactly one bucket.
+struct BucketGrid {
+  std::vector<int64_t> input_edges;
+  std::vector<int64_t> output_edges;
+
+  // {64, 256, 1024, 8192} x {64, 256, 1024, 4096}: four geometric bands per
+  // axis, ceilings matching the Dataset clamps.
+  static BucketGrid Default();
+
+  int inputs() const { return static_cast<int>(input_edges.size()); }
+  int outputs() const { return static_cast<int>(output_edges.size()); }
+  int buckets() const { return inputs() * outputs(); }
+
+  int InputBucket(int64_t tokens) const;
+  int OutputBucket(int64_t tokens) const;
+  // Flattened bucket index of a request: input_bucket * outputs + output_bucket.
+  int BucketOf(int64_t prompt_tokens, int64_t output_tokens) const;
+
+  // Representative lengths for calibration/prediction: the geometric
+  // midpoint of the band, which tracks the mass of log-normal length
+  // distributions better than the arithmetic midpoint.
+  int64_t InputRep(int input_bucket) const;
+  int64_t OutputRep(int output_bucket) const;
+
+  bool operator==(const BucketGrid& other) const {
+    return input_edges == other.input_edges && output_edges == other.output_edges;
+  }
+};
+
+// The profiled distribution: per-model request rates over the grid, plus
+// the aggregates the solver and CLI consume.
+struct WorkloadMatrix {
+  BucketGrid grid;
+  double horizon = 0.0;     // seconds of trace the rates are averaged over
+  uint64_t requests = 0;
+  double total_rate = 0.0;  // req/s across all models and buckets
+
+  // rate[model][bucket] in req/s (flattened bucket index).
+  std::vector<std::vector<double>> model_bucket_rate;
+  // Aggregates: rate[bucket] summed over models, rate[model] over buckets.
+  std::vector<double> bucket_rate;
+  std::vector<double> model_rate;
+
+  // Mean observed lengths per bucket (over all models); fall back to the
+  // grid representative when a bucket is empty. Used for calibration so the
+  // profile reflects the trace, not just the grid geometry.
+  std::vector<double> bucket_mean_prompt;
+  std::vector<double> bucket_mean_output;
+
+  double Rate(int model, int bucket) const { return model_bucket_rate[model][bucket]; }
+  int64_t PromptRepOf(int bucket) const;
+  int64_t OutputRepOf(int bucket) const;
+};
+
+// Profiles `trace` over [0, horizon). `model_count` sizes the per-model
+// axis (models with no arrivals get all-zero rows).
+WorkloadMatrix BuildWorkloadMatrix(const std::vector<ArrivalEvent>& trace, double horizon,
+                                   size_t model_count, const BucketGrid& grid = BucketGrid::Default());
+
+// CSV dump (aegaeon_sim --dump-workload-matrix): one row per (model,
+// input-band, output-band) with nonzero rate, preceded by a header. Plans
+// are reproducible from the CLI alone given this file and the GPU profile.
+void WriteMatrixCsv(std::ostream& os, const WorkloadMatrix& matrix);
+
+}  // namespace aegaeon
+
+#endif  // AEGAEON_PLANNER_WORKLOAD_MATRIX_H_

@@ -47,4 +47,11 @@ Dataset Dataset::ShareGptOx2() {
   return Dataset("ShareGPT-ox2", 4.5, 1.1, 5.25, 0.9, /*input_scale=*/1.0, /*output_scale=*/2.0);
 }
 
+Dataset Dataset::Summarize() {
+  // Document summarization / extraction: long prompts (mean ~2k tokens),
+  // short outputs (mean ~80). The prefill-heavy counterpart to chat —
+  // load concentrates in compute-bound prefill instead of decode.
+  return Dataset("Summarize", 7.3, 0.8, 4.2, 0.5);
+}
+
 }  // namespace aegaeon

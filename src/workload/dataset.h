@@ -42,6 +42,7 @@ class Dataset {
   static Dataset ShareGpt();
   static Dataset ShareGptIx2();
   static Dataset ShareGptOx2();
+  static Dataset Summarize();
 
   // Length clamps (tokens).
   static constexpr int64_t kMinLen = 4;

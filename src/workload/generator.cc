@@ -29,6 +29,24 @@ std::vector<ArrivalEvent> GeneratePoisson(const ModelRegistry& registry, double 
   return events;
 }
 
+std::vector<ArrivalEvent> GenerateMixedPoisson(const ModelRegistry& registry,
+                                               double rps_per_model, Duration horizon,
+                                               const Dataset& even, const Dataset& odd,
+                                               uint64_t seed) {
+  std::vector<ArrivalEvent> events;
+  Rng len_rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  for (const DeployedModel& model : registry.models()) {
+    const Dataset& dataset = (model.id % 2 == 0) ? even : odd;
+    PoissonProcess process(rps_per_model, seed + model.id * 7919);
+    for (double t : process.ArrivalsUntil(horizon)) {
+      LengthSample lengths = dataset.Sample(len_rng);
+      events.push_back(ArrivalEvent{t, model.id, lengths.prompt_tokens, lengths.output_tokens});
+    }
+  }
+  SortByTime(events);
+  return events;
+}
+
 std::vector<ArrivalEvent> GenerateSkewed(const ModelRegistry& registry, double total_rps,
                                          double zipf_s, Duration horizon, const Dataset& dataset,
                                          uint64_t seed) {

@@ -21,6 +21,16 @@ namespace aegaeon {
 std::vector<ArrivalEvent> GeneratePoisson(const ModelRegistry& registry, double rps_per_model,
                                           Duration horizon, const Dataset& dataset, uint64_t seed);
 
+// Mixed-service market: like GeneratePoisson, but even-indexed models draw
+// lengths from `even` and odd-indexed models from `odd` — e.g. chat
+// services interleaved with summarization services. The two sub-markets
+// stress different phases (decode vs prefill), which is the regime where a
+// heterogeneous pool beats every homogeneous one.
+std::vector<ArrivalEvent> GenerateMixedPoisson(const ModelRegistry& registry,
+                                               double rps_per_model, Duration horizon,
+                                               const Dataset& even, const Dataset& odd,
+                                               uint64_t seed);
+
 // Market-skewed workload: total arrival rate `total_rps` split across the
 // registry's models by a Zipf(s) popularity distribution (Figure 1a's heavy
 // tail uses s ~ 1.8).

@@ -1,10 +1,18 @@
 #include "workload/trace.h"
 
-#include <algorithm>
 #include <fstream>
 #include <sstream>
 
 namespace aegaeon {
+namespace {
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) {
+    *error = message;
+  }
+}
+
+}  // namespace
 
 void WriteTrace(std::ostream& os, const std::vector<ArrivalEvent>& events) {
   os << "time,model,prompt_tokens,output_tokens\n";
@@ -24,16 +32,20 @@ bool WriteTraceFile(const std::string& path, const std::vector<ArrivalEvent>& ev
   return static_cast<bool>(file);
 }
 
-bool ReadTrace(std::istream& is, std::vector<ArrivalEvent>& events) {
+bool ReadTrace(std::istream& is, std::vector<ArrivalEvent>& events, std::string* error) {
   events.clear();
   std::string line;
   if (!std::getline(is, line)) {
-    return false;  // missing header
-  }
-  if (line != "time,model,prompt_tokens,output_tokens") {
+    SetError(error, "missing header line");
     return false;
   }
+  if (line != "time,model,prompt_tokens,output_tokens") {
+    SetError(error, "bad header: expected 'time,model,prompt_tokens,output_tokens'");
+    return false;
+  }
+  uint64_t row_number = 1;  // header was row 1
   while (std::getline(is, line)) {
+    ++row_number;
     if (line.empty()) {
       continue;
     }
@@ -46,25 +58,40 @@ bool ReadTrace(std::istream& is, std::vector<ArrivalEvent>& events) {
           event.output_tokens) ||
         c1 != ',' || c2 != ',' || c3 != ',') {
       events.clear();
+      SetError(error, "row " + std::to_string(row_number) + ": malformed fields");
       return false;
     }
     if (event.time < 0.0 || event.prompt_tokens < 0 || event.output_tokens < 1) {
       events.clear();
+      SetError(error, "row " + std::to_string(row_number) + ": out-of-range value");
+      return false;
+    }
+    // A trace is a recorded arrival sequence: out-of-order timestamps mean
+    // the file is corrupt (or hand-edited), not that the arrivals happened
+    // in a different order. Silently re-sorting used to mask such damage,
+    // so it is rejected instead.
+    if (!events.empty() && event.time < events.back().time) {
+      std::ostringstream message;
+      message.precision(9);
+      message << "row " << row_number << ": non-monotone timestamp " << event.time
+              << " after " << events.back().time;
+      events.clear();
+      SetError(error, message.str());
       return false;
     }
     events.push_back(event);
   }
-  std::stable_sort(events.begin(), events.end(),
-                   [](const ArrivalEvent& a, const ArrivalEvent& b) { return a.time < b.time; });
   return true;
 }
 
-bool ReadTraceFile(const std::string& path, std::vector<ArrivalEvent>& events) {
+bool ReadTraceFile(const std::string& path, std::vector<ArrivalEvent>& events,
+                   std::string* error) {
   std::ifstream file(path);
   if (!file) {
+    SetError(error, "cannot open " + path);
     return false;
   }
-  return ReadTrace(file, events);
+  return ReadTrace(file, events, error);
 }
 
 }  // namespace aegaeon

@@ -19,9 +19,15 @@ void WriteTrace(std::ostream& os, const std::vector<ArrivalEvent>& events);
 bool WriteTraceFile(const std::string& path, const std::vector<ArrivalEvent>& events);
 
 // Parses a trace; returns false (and leaves `events` empty) on malformed
-// input. Rows must be sorted by time; unsorted rows are sorted on load.
-bool ReadTrace(std::istream& is, std::vector<ArrivalEvent>& events);
-bool ReadTraceFile(const std::string& path, std::vector<ArrivalEvent>& events);
+// input, including rows whose timestamps go backwards — a recorded arrival
+// sequence is monotone by construction, so out-of-order rows indicate a
+// corrupt or hand-edited file rather than something to silently re-sort.
+// On failure `error` (when non-null) receives a one-line reason with the
+// offending row number.
+bool ReadTrace(std::istream& is, std::vector<ArrivalEvent>& events,
+               std::string* error = nullptr);
+bool ReadTraceFile(const std::string& path, std::vector<ArrivalEvent>& events,
+                   std::string* error = nullptr);
 
 }  // namespace aegaeon
 

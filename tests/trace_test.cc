@@ -48,16 +48,34 @@ TEST(TraceTest, RejectsNegativeValues) {
   EXPECT_FALSE(ReadTrace(stream, events));
 }
 
-TEST(TraceTest, SortsUnsortedRows) {
+TEST(TraceTest, RejectsNonMonotoneTimestamps) {
   std::stringstream stream(
       "time,model,prompt_tokens,output_tokens\n"
       "5.0,1,10,20\n"
       "1.0,0,30,40\n");
   std::vector<ArrivalEvent> events;
+  std::string error;
+  EXPECT_FALSE(ReadTrace(stream, events, &error));
+  EXPECT_NE(error.find("non-monotone"), std::string::npos) << error;
+  EXPECT_NE(error.find("row 3"), std::string::npos) << error;
+}
+
+TEST(TraceTest, AcceptsEqualTimestamps) {
+  std::stringstream stream(
+      "time,model,prompt_tokens,output_tokens\n"
+      "1.0,0,10,20\n"
+      "1.0,1,30,40\n");
+  std::vector<ArrivalEvent> events;
   ASSERT_TRUE(ReadTrace(stream, events));
   ASSERT_EQ(events.size(), 2u);
-  EXPECT_DOUBLE_EQ(events[0].time, 1.0);
-  EXPECT_EQ(events[0].model, 0u);
+}
+
+TEST(TraceTest, ReportsMalformedFieldWithMessage) {
+  std::stringstream stream("time,model,prompt_tokens,output_tokens\n1.0,0,banana,20\n");
+  std::vector<ArrivalEvent> events;
+  std::string error;
+  EXPECT_FALSE(ReadTrace(stream, events, &error));
+  EXPECT_FALSE(error.empty());
 }
 
 TEST(TraceTest, EmptyTraceRoundTrips) {

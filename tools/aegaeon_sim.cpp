@@ -8,6 +8,7 @@
 //   aegaeon_sim --system aegaeon --trace-in workload.csv --timeline t.json
 //   aegaeon_sim --models 24 --rps 0.2 --trace-out workload.csv --dry-run
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,6 +31,7 @@
 #include "model/registry.h"
 #include "workload/dataset.h"
 #include "workload/generator.h"
+#include "planner/workload_matrix.h"
 #include "workload/trace.h"
 
 namespace {
@@ -59,6 +61,7 @@ struct Options {
   double dispatch_latency = 0.05;
   bool per_model = false;
   std::string json_out;
+  std::string matrix_out;
 };
 
 void Usage() {
@@ -87,6 +90,8 @@ void Usage() {
       "  --dispatch-latency S  fleet router -> cell hop in seconds (default 0.05)\n"
       "  --per-model    print a per-model quality report\n"
       "  --json F       write headline metrics as JSON\n"
+      "  --dump-workload-matrix F  write the planner's (model x input x output)\n"
+      "                 rate matrix of the trace as CSV and continue\n"
       "  --dry-run      generate/save the trace and exit without serving\n");
 }
 
@@ -176,6 +181,8 @@ bool ParseArgs(int argc, char** argv, Options& opts) {
       opts.per_model = true;
     } else if (arg == "--json") {
       opts.json_out = next("--json");
+    } else if (arg == "--dump-workload-matrix") {
+      opts.matrix_out = next("--dump-workload-matrix");
     } else if (arg == "--dry-run") {
       opts.dry_run = true;
     } else {
@@ -240,8 +247,10 @@ int main(int argc, char** argv) {
 
   std::vector<ArrivalEvent> trace;
   if (!opts.trace_in.empty()) {
-    if (!ReadTraceFile(opts.trace_in, trace)) {
-      std::fprintf(stderr, "failed to read trace '%s'\n", opts.trace_in.c_str());
+    std::string trace_error;
+    if (!ReadTraceFile(opts.trace_in, trace, &trace_error)) {
+      std::fprintf(stderr, "failed to read trace '%s': %s\n", opts.trace_in.c_str(),
+                   trace_error.c_str());
       return 1;
     }
     std::printf("replaying %zu requests from %s\n", trace.size(), opts.trace_in.c_str());
@@ -257,6 +266,23 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("trace saved to %s\n", opts.trace_out.c_str());
+  }
+  if (!opts.matrix_out.empty()) {
+    // The planner's workload profiler, reused verbatim: the CSV a plan is
+    // reproducible from (tools/aegaeon_plan consumes the same reduction).
+    double horizon = opts.horizon;
+    for (const ArrivalEvent& event : trace) {
+      horizon = std::max(horizon, event.time);
+    }
+    WorkloadMatrix matrix = BuildWorkloadMatrix(trace, horizon, registry.size());
+    std::ofstream csv(opts.matrix_out);
+    if (!csv) {
+      std::fprintf(stderr, "failed to write workload matrix '%s'\n", opts.matrix_out.c_str());
+      return 1;
+    }
+    WriteMatrixCsv(csv, matrix);
+    std::printf("workload matrix (%.3f req/s over %.0f s) written to %s\n", matrix.total_rate,
+                matrix.horizon, opts.matrix_out.c_str());
   }
   if (opts.dry_run) {
     return 0;

@@ -18,12 +18,13 @@ BUILD_DIR="${1:-$REPO_ROOT/build-bench}"
 BASELINE="$REPO_ROOT/tools/bench_baseline.json"
 RESULT="$BUILD_DIR/BENCH_sim_perf.json"
 FLEET_RESULT="$BUILD_DIR/BENCH_fleet_scale.json"
+PLANNER_RESULT="$BUILD_DIR/BENCH_planner.json"
 MAX_REGRESSION_PCT=20
 
 echo "== Configuring Release build in $BUILD_DIR"
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release > /dev/null
 cmake --build "$BUILD_DIR" -j --target bench_sim_perf bench_fig13_stricter_slos \
-  bench_overload bench_fleet_scale > /dev/null
+  bench_overload bench_fleet_scale bench_planner > /dev/null
 
 echo "== Running bench_sim_perf"
 "$BUILD_DIR/bench/bench_sim_perf" "$RESULT"
@@ -42,6 +43,12 @@ echo
 echo "== Running bench_fleet_scale (sharded fleet executor)"
 # Exits nonzero if results diverge across shard counts.
 "$BUILD_DIR/bench/bench_fleet_scale" "$FLEET_RESULT"
+
+echo
+echo "== Running bench_planner (capacity-planner cost gate)"
+# Exits nonzero unless the certified heterogeneous plan beats the best
+# homogeneous pool by >= 10% at the reference rate, bit-identically.
+"$BUILD_DIR/bench/bench_planner" "$PLANNER_RESULT"
 
 json_field() {  # json_field <file> <key>  — first "key": <number> match
   sed -n "s/.*\"$2\": *\([0-9.]*\).*/\1/p" "$1" | head -1
@@ -123,6 +130,32 @@ if awk -v n="$cores" 'BEGIN { exit !(n >= 4) }'; then
 else
   echo "   fleet 8-shard speedup at >=512 GPUs: ${fleet_speedup}x on ${cores} core(s)" \
        "(3x gate requires >= 4 cores; skipped)"
+fi
+
+# --- Capacity-planner gate --------------------------------------------------
+# The bench already hard-fails below 10% savings or on any nondeterminism;
+# the baseline comparison additionally catches a solver/packing change that
+# quietly erodes the certified plan's advantage.
+planner_identical=$(sed -n 's/.*"identical_results": *\(true\|false\).*/\1/p' "$PLANNER_RESULT")
+planner_savings=$(json_field "$PLANNER_RESULT" savings_pct)
+planner_baseline_savings=$(json_field "$BASELINE" savings_pct)
+
+echo
+echo "== Capacity-planner gate"
+echo "   certified-vs-homogeneous savings: current=${planner_savings}%" \
+     "baseline=${planner_baseline_savings}% (floor 10%, max regression ${MAX_REGRESSION_PCT}%)"
+
+if [ "$planner_identical" != "true" ]; then
+  echo "FAIL: planner results diverged across runs or sweep worker counts" >&2
+  exit 1
+fi
+
+ok=$(awk -v c="$planner_savings" -v b="$planner_baseline_savings" -v m="$MAX_REGRESSION_PCT" \
+  'BEGIN { print (c >= 10.0 && c >= b * (1 - m / 100.0)) ? "yes" : "no" }')
+if [ "$ok" != "yes" ]; then
+  echo "FAIL: planner savings ${planner_savings}% below the 10% floor or" \
+       "regressed more than ${MAX_REGRESSION_PCT}% vs baseline" >&2
+  exit 1
 fi
 
 echo "PASS"

@@ -48,6 +48,8 @@ namespace {
 template <typename Container>
 void FillDecodeWaitsImpl(Container& requests) {
   for (Request& r : requests) {
+    // LINT-ALLOW(float-equality): 0.0 is the never-filled sentinel here —
+    // decode_wait is assigned exactly once, so exact-zero means "not yet"
     if (r.finished() && r.first_token_time != kTimeUnset && r.decode_wait == 0.0) {
       double wait = (r.completion - r.first_token_time) - r.decode_exec;
       r.decode_wait = wait > 0.0 ? wait : 0.0;

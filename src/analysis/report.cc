@@ -120,6 +120,9 @@ double JainFairness(const std::vector<ModelReport>& report) {
     sum += x;
     sum_sq += x * x;
   }
+  // LINT-ALLOW(float-equality): exact-zero guard — sum of squares of
+  // non-negative attainments is exactly 0 iff every term is exactly 0, and
+  // anything else makes the division below well-defined
   if (sum_sq == 0.0) {
     return 1.0;  // everyone equally at zero
   }

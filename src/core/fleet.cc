@@ -134,7 +134,10 @@ RunMetrics ShardedFleet::Run(const std::vector<ArrivalEvent>& trace) {
          "fleet dispatch consumes the trace in time order");
   trace_ = &trace;
   next_arrival_ = 0;
-  sync_overruns_.store(0, std::memory_order_relaxed);
+  {
+    MutexLock lock(overrun_mu_);
+    sync_overruns_ = 0;
+  }
 
   sharded_.Phase([this](int shard) {
     int begin = 0, end = 0;
@@ -159,7 +162,8 @@ RunMetrics ShardedFleet::Run(const std::vector<ArrivalEvent>& trace) {
           // Conservative-sync audit: the cell's shadow clock must not have
           // run past the horizon no other shard has reached yet.
           if (horizon < kTimeNever && checker.state().now() > horizon) {
-            sync_overruns_.fetch_add(1, std::memory_order_relaxed);
+            MutexLock lock(overrun_mu_);
+            ++sync_overruns_;
           }
         }
         return processed;
@@ -188,7 +192,10 @@ RunMetrics ShardedFleet::Run(const std::vector<ArrivalEvent>& trace) {
 FleetAudit ShardedFleet::audit() const {
   FleetAudit audit;
   audit.epochs = sharded_.epochs();
-  audit.sync_overruns = sync_overruns_.load(std::memory_order_relaxed);
+  {
+    MutexLock lock(overrun_mu_);
+    audit.sync_overruns = sync_overruns_;
+  }
   for (const std::unique_ptr<simsan::SimSan>& checker : simsan_) {
     const simsan::SimSanReport report = checker->report();
     audit.checks += report.checks;

@@ -36,7 +36,6 @@
 #ifndef AEGAEON_CORE_FLEET_H_
 #define AEGAEON_CORE_FLEET_H_
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -45,6 +44,7 @@
 #include "core/cluster.h"
 #include "core/config.h"
 #include "core/request.h"
+#include "core/thread_annotations.h"
 #include "hw/gpu_spec.h"
 #include "model/registry.h"
 #include "sanitizer/simsan.h"
@@ -140,8 +140,11 @@ class ShardedFleet {
   const std::vector<ArrivalEvent>* trace_ = nullptr;
   size_t next_arrival_ = 0;
 
-  // Incremented from parallel advances; the sum is order-independent.
-  std::atomic<uint64_t> sync_overruns_{0};
+  // Incremented from parallel advances (cold path: overruns mean the
+  // conservative-sync protocol itself is broken); read by audit(). The
+  // guard is machine-checked via -Wthread-safety.
+  mutable Mutex overrun_mu_;
+  uint64_t sync_overruns_ GUARDED_BY(overrun_mu_) = 0;
 };
 
 }  // namespace aegaeon

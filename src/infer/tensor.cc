@@ -10,6 +10,8 @@ std::vector<float> VecMat(const std::vector<float>& x, const Matrix& w) {
   std::vector<float> out(w.cols(), 0.0f);
   for (size_t r = 0; r < w.rows(); ++r) {
     float xv = x[r];
+    // LINT-ALLOW(float-equality): exact-zero sparsity skip — adding
+    // xv * row[c] with xv == +/-0 is a no-op, so skipping is bit-identical
     if (xv == 0.0f) {
       continue;
     }

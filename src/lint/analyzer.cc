@@ -1,0 +1,198 @@
+#include "lint/analyzer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "lint/suppression.h"
+
+namespace aegaeon {
+namespace lint {
+
+namespace {
+
+bool LintableExtension(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Finding> RunLint(const std::vector<FileContent>& files, const LintOptions& options) {
+  const std::vector<std::string> rule_ids = AllRuleIds();
+
+  std::vector<SourceFile> sources;
+  sources.reserve(files.size());
+  for (const FileContent& file : files) {
+    sources.push_back(SourceFile{file.path, Lex(file.content)});
+  }
+  std::sort(sources.begin(), sources.end(),
+            [](const SourceFile& a, const SourceFile& b) { return a.path < b.path; });
+
+  std::vector<Finding> findings;
+  for (const SourceFile& source : sources) {
+    for (const std::string& error : source.lex.errors) {
+      findings.push_back(Finding{"lex-error", source.path, 0, 0, error});
+    }
+  }
+  for (const Rule* rule : AllRules()) {
+    for (const SourceFile& source : sources) {
+      rule->CheckFile(source, &findings);
+    }
+    rule->CheckProject(sources, &findings);
+  }
+
+  // Suppression pass. Meta findings (bare or unknown-rule markers) are
+  // emitted here and are themselves suppressible only by the explicit
+  // "lint-allow" rule id — justified, like everything else.
+  std::vector<Finding> kept;
+  for (const SourceFile& source : sources) {
+    std::vector<Finding> meta;
+    const std::vector<Suppression> sups = CollectSuppressions(source, rule_ids, &meta);
+    for (Finding& finding : meta) {
+      if (!IsSuppressed(finding, sups)) {
+        kept.push_back(std::move(finding));
+      }
+    }
+    for (Finding& finding : findings) {
+      if (finding.file == source.path && !IsSuppressed(finding, sups)) {
+        kept.push_back(std::move(finding));
+      }
+    }
+  }
+
+  if (!options.rule_filter.empty()) {
+    kept.erase(std::remove_if(kept.begin(), kept.end(),
+                              [&](const Finding& f) {
+                                return std::find(options.rule_filter.begin(),
+                                                 options.rule_filter.end(),
+                                                 f.rule) == options.rule_filter.end();
+                              }),
+               kept.end());
+  }
+
+  std::sort(kept.begin(), kept.end());
+  kept.erase(std::unique(kept.begin(), kept.end()), kept.end());
+  return kept;
+}
+
+std::vector<FileContent> CollectFiles(const std::vector<std::string>& paths,
+                                      std::vector<std::string>* errors) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> discovered;
+  for (const std::string& path : paths) {
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      for (fs::recursive_directory_iterator it(path, ec), end; it != end; it.increment(ec)) {
+        if (ec) {
+          errors->push_back(path + ": " + ec.message());
+          break;
+        }
+        if (it->is_regular_file() && LintableExtension(it->path())) {
+          discovered.push_back(it->path().generic_string());
+        }
+      }
+    } else if (fs::is_regular_file(path, ec)) {
+      discovered.push_back(fs::path(path).generic_string());
+    } else {
+      errors->push_back(path + ": not a file or directory");
+    }
+  }
+  std::sort(discovered.begin(), discovered.end());
+  discovered.erase(std::unique(discovered.begin(), discovered.end()), discovered.end());
+
+  std::vector<FileContent> files;
+  files.reserve(discovered.size());
+  for (const std::string& path : discovered) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      errors->push_back(path + ": unreadable");
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    files.push_back(FileContent{path, buf.str()});
+  }
+  return files;
+}
+
+std::string FormatText(const std::vector<Finding>& findings) {
+  std::ostringstream os;
+  for (const Finding& f : findings) {
+    os << f.file << ":" << f.line << ":" << f.col << ": [" << f.rule << "] " << f.message << "\n";
+  }
+  return os.str();
+}
+
+std::string FormatSarif(const std::vector<Finding>& findings) {
+  // Rule metadata for every catalog rule (not just the ones that fired),
+  // so the report is self-describing.
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+     << "  \"runs\": [{\n"
+     << "    \"tool\": {\"driver\": {\"name\": \"aegaeon_lint\",\n"
+     << "      \"informationUri\": \"DESIGN.md\",\n"
+     << "      \"rules\": [\n";
+  const std::vector<const Rule*>& rules = AllRules();
+  for (size_t i = 0; i < rules.size(); ++i) {
+    os << "        {\"id\": \"" << JsonEscape(rules[i]->id()) << "\", \"shortDescription\": "
+       << "{\"text\": \"" << JsonEscape(rules[i]->description()) << "\"}}"
+       << (i + 1 < rules.size() ? ",\n" : "\n");
+  }
+  os << "      ]}},\n"
+     << "    \"results\": [\n";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    os << "      {\"ruleId\": \"" << JsonEscape(f.rule) << "\", \"level\": \"error\", "
+       << "\"message\": {\"text\": \"" << JsonEscape(f.message) << "\"}, "
+       << "\"locations\": [{\"physicalLocation\": {"
+       << "\"artifactLocation\": {\"uri\": \"" << JsonEscape(f.file) << "\"}, "
+       << "\"region\": {\"startLine\": " << f.line << ", \"startColumn\": " << f.col << "}}}]}"
+       << (i + 1 < findings.size() ? ",\n" : "\n");
+  }
+  os << "    ]\n"
+     << "  }]\n"
+     << "}\n";
+  return os.str();
+}
+
+}  // namespace lint
+}  // namespace aegaeon

@@ -1,0 +1,53 @@
+// Analyzer driver: file collection -> lex -> rule passes -> suppression
+// filtering -> sorted findings -> text or SARIF-shaped JSON. Usable as a
+// library (tests/lint_test.cc drives it over inline fixture snippets) and
+// from the tools/aegaeon_lint.cpp CLI.
+
+#ifndef AEGAEON_LINT_ANALYZER_H_
+#define AEGAEON_LINT_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "lint/finding.h"
+#include "lint/rule.h"
+
+namespace aegaeon {
+namespace lint {
+
+// One input file, path + full content. CollectFiles builds these from
+// disk; tests build them inline.
+struct FileContent {
+  std::string path;
+  std::string content;
+};
+
+struct LintOptions {
+  // Empty: run every rule. Otherwise only findings of these rule ids are
+  // reported ("lint-allow" meta findings are kept unless filtered out).
+  std::vector<std::string> rule_filter;
+};
+
+// Lexes every file, runs all per-file and project rules, applies inline
+// suppressions, and returns the surviving findings sorted by
+// (file, line, col, rule). Lexical errors surface as "lint-allow"-adjacent
+// findings under rule id "lex-error" (not suppressible).
+std::vector<Finding> RunLint(const std::vector<FileContent>& files, const LintOptions& options);
+
+// Recursively collects *.h / *.cc / *.cpp under each path (a path may also
+// name a single file), sorted by path for deterministic output. Unreadable
+// paths are reported into `errors`.
+std::vector<FileContent> CollectFiles(const std::vector<std::string>& paths,
+                                      std::vector<std::string>* errors);
+
+// "file:line:col: [rule] message" lines.
+std::string FormatText(const std::vector<Finding>& findings);
+
+// SARIF 2.1.0-shaped report (tool.driver.rules + results with
+// physicalLocation), stable across runs.
+std::string FormatSarif(const std::vector<Finding>& findings);
+
+}  // namespace lint
+}  // namespace aegaeon
+
+#endif  // AEGAEON_LINT_ANALYZER_H_

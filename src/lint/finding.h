@@ -1,0 +1,37 @@
+// A lint finding: one rule violation at one source location. Findings are
+// the unit every layer of aegaeon_lint trades in — rules emit them, the
+// suppression pass filters them, and the analyzer sorts and formats them
+// (human-readable or SARIF-shaped JSON).
+
+#ifndef AEGAEON_LINT_FINDING_H_
+#define AEGAEON_LINT_FINDING_H_
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace aegaeon {
+namespace lint {
+
+struct Finding {
+  std::string rule;     // rule id, e.g. "wall-clock"
+  std::string file;     // path as given to the analyzer
+  int line = 0;         // 1-based
+  int col = 0;          // 1-based
+  std::string message;  // what is wrong and what to use instead
+};
+
+inline bool operator<(const Finding& a, const Finding& b) {
+  return std::tie(a.file, a.line, a.col, a.rule, a.message) <
+         std::tie(b.file, b.line, b.col, b.rule, b.message);
+}
+
+inline bool operator==(const Finding& a, const Finding& b) {
+  return a.rule == b.rule && a.file == b.file && a.line == b.line && a.col == b.col &&
+         a.message == b.message;
+}
+
+}  // namespace lint
+}  // namespace aegaeon
+
+#endif  // AEGAEON_LINT_FINDING_H_

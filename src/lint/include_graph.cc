@@ -1,0 +1,151 @@
+#include "lint/include_graph.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+namespace aegaeon {
+namespace lint {
+
+namespace {
+
+bool IsHeaderPath(std::string_view path) {
+  return path.size() >= 2 && path.substr(path.size() - 2) == ".h";
+}
+
+// Normalizes an analyzer path to the include spelling used inside the repo:
+// strips leading "./" and a leading "src/" (headers are included relative
+// to src/, per target_include_directories).
+std::string IncludeKey(std::string_view path) {
+  while (path.substr(0, 2) == "./") {
+    path.remove_prefix(2);
+  }
+  if (path.substr(0, 4) == "src/") {
+    path.remove_prefix(4);
+  }
+  return std::string(path);
+}
+
+}  // namespace
+
+std::vector<IncludeEdge> QuotedIncludes(const SourceFile& file) {
+  std::vector<IncludeEdge> edges;
+  const std::vector<Token>& t = file.lex.tokens;
+  for (size_t i = 2; i < t.size(); ++i) {
+    // `# include "path"` — the lexer lexes the quoted form as a normal
+    // string token and the angle form as "<...>".
+    if (t[i].kind != TokenKind::kString || t[i].text.size() < 2 || t[i].text.front() != '"') {
+      continue;
+    }
+    if (!(t[i - 1].kind == TokenKind::kIdentifier && t[i - 1].text == "include" &&
+          t[i - 2].kind == TokenKind::kPunct && t[i - 2].text == "#")) {
+      continue;
+    }
+    edges.push_back(IncludeEdge{t[i].text.substr(1, t[i].text.size() - 2), t[i].line});
+  }
+  return edges;
+}
+
+void IncludeCycleRule::CheckProject(const std::vector<SourceFile>& files,
+                                    std::vector<Finding>* out) const {
+  // Graph over the files we were given, keyed by include spelling. Only
+  // headers can appear on a cycle (a .cc is never included), but .cc files
+  // contribute no edges into them either, so restrict to headers.
+  std::map<std::string, const SourceFile*> by_key;
+  for (const SourceFile& file : files) {
+    if (IsHeaderPath(file.path)) {
+      by_key[IncludeKey(file.path)] = &file;
+    }
+  }
+  std::map<std::string, std::vector<IncludeEdge>> edges;
+  for (const auto& [key, file] : by_key) {
+    for (const IncludeEdge& edge : QuotedIncludes(*file)) {
+      if (by_key.count(edge.target) != 0) {
+        edges[key].push_back(edge);
+      }
+    }
+  }
+
+  // Iterative DFS with an explicit path stack; each node is reported in at
+  // most one cycle. std::map iteration keeps everything deterministic.
+  std::set<std::string> done;
+  std::set<std::string> reported;
+  for (const auto& [root, unused] : by_key) {
+    (void)unused;
+    if (done.count(root) != 0) {
+      continue;
+    }
+    std::vector<std::string> path;
+    std::set<std::string> on_path;
+    struct Frame {
+      std::string node;
+      size_t next_edge = 0;
+    };
+    std::vector<Frame> stack;
+    stack.push_back(Frame{root, 0});
+    path.push_back(root);
+    on_path.insert(root);
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const std::vector<IncludeEdge>& out_edges = edges[frame.node];
+      if (frame.next_edge >= out_edges.size()) {
+        done.insert(frame.node);
+        on_path.erase(frame.node);
+        path.pop_back();
+        stack.pop_back();
+        continue;
+      }
+      const IncludeEdge& edge = out_edges[frame.next_edge++];
+      if (on_path.count(edge.target) != 0) {
+        // Found a back edge: the cycle is path[target..end] + target.
+        auto begin = std::find(path.begin(), path.end(), edge.target);
+        bool fresh = false;
+        std::string chain;
+        for (auto it = begin; it != path.end(); ++it) {
+          fresh = fresh || reported.insert(*it).second;
+          chain += *it + " -> ";
+        }
+        chain += edge.target;
+        if (fresh) {
+          const SourceFile* at = by_key[frame.node];
+          out->push_back(Finding{std::string(id()), at->path, edge.line, 1,
+                                 "#include cycle: " + chain});
+        }
+        continue;
+      }
+      if (done.count(edge.target) != 0) {
+        continue;
+      }
+      stack.push_back(Frame{edge.target, 0});
+      path.push_back(edge.target);
+      on_path.insert(edge.target);
+    }
+  }
+}
+
+void IncludeGuardRule::CheckFile(const SourceFile& file, std::vector<Finding>* out) const {
+  if (!IsHeaderPath(file.path)) {
+    return;
+  }
+  const std::vector<Token>& t = file.lex.tokens;
+  if (t.empty()) {
+    return;  // an empty (or comment-only) header multi-includes harmlessly
+  }
+  // The first tokens must open a guard: `#pragma once`, or `#ifndef NAME`
+  // followed by `#define NAME`.
+  if (t.size() >= 3 && t[0].text == "#" && t[1].text == "pragma" && t[2].text == "once") {
+    return;
+  }
+  if (t.size() >= 6 && t[0].text == "#" && t[1].text == "ifndef" &&
+      t[2].kind == TokenKind::kIdentifier && t[3].text == "#" && t[4].text == "define" &&
+      t[5].kind == TokenKind::kIdentifier && t[5].text == t[2].text) {
+    return;
+  }
+  out->push_back(Finding{std::string(id()), file.path, t[0].line, t[0].col,
+                         "header has no include guard (#ifndef/#define pair or #pragma once) "
+                         "before its first token"});
+}
+
+}  // namespace lint
+}  // namespace aegaeon

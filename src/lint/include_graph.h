@@ -1,0 +1,51 @@
+// Include-graph passes: whole-project rules over the `#include "..."`
+// edges between the repo's own files. Detects include cycles (which make
+// build order fragile and usually signal an inverted layering) and headers
+// missing an include guard / #pragma once.
+
+#ifndef AEGAEON_LINT_INCLUDE_GRAPH_H_
+#define AEGAEON_LINT_INCLUDE_GRAPH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/rule.h"
+
+namespace aegaeon {
+namespace lint {
+
+// Project-relative quoted includes of one file, with the line each was
+// found on, in source order. `<...>` system includes are ignored.
+struct IncludeEdge {
+  std::string target;  // the literal path between the quotes
+  int line = 0;
+};
+std::vector<IncludeEdge> QuotedIncludes(const SourceFile& file);
+
+class IncludeCycleRule : public Rule {
+ public:
+  std::string_view id() const override { return "include-cycle"; }
+  std::string_view description() const override {
+    return "cyclic #include chain among project headers — the build only works by guard "
+           "accident and the layering is inverted somewhere; break the cycle with a forward "
+           "declaration or by splitting the header.";
+  }
+  void CheckProject(const std::vector<SourceFile>& files,
+                    std::vector<Finding>* out) const override;
+};
+
+class IncludeGuardRule : public Rule {
+ public:
+  std::string_view id() const override { return "include-guard"; }
+  std::string_view description() const override {
+    return "header without an include guard (#ifndef/#define pair or #pragma once) before "
+           "its first declaration — double inclusion is an ODR time bomb.";
+  }
+  void CheckFile(const SourceFile& file, std::vector<Finding>* out) const override;
+};
+
+}  // namespace lint
+}  // namespace aegaeon
+
+#endif  // AEGAEON_LINT_INCLUDE_GRAPH_H_

@@ -1,0 +1,415 @@
+#include "lint/token.h"
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+namespace aegaeon {
+namespace lint {
+
+namespace {
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_'; }
+bool IsIdentChar(char c) { return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_'; }
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+// String-literal prefixes whose next character may open a literal. A
+// trailing 'R' means raw.
+bool IsStringPrefix(std::string_view s) {
+  return s == "L" || s == "u" || s == "U" || s == "u8" || s == "R" || s == "LR" || s == "uR" ||
+         s == "UR" || s == "u8R";
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  LexResult Run() {
+    while (!AtEnd()) {
+      SkipSplices();
+      if (AtEnd()) {
+        break;
+      }
+      char c = src_[pos_];
+      if (c == '\n') {
+        NewLine();
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        Take();
+        continue;
+      }
+      if (c == '/' && Peek(1) == '/') {
+        LexLineComment();
+        continue;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        LexBlockComment();
+        continue;
+      }
+      if (c == '"') {
+        LexString(/*prefix=*/"");
+        continue;
+      }
+      if (c == '\'') {
+        LexChar();
+        continue;
+      }
+      if (IsIdentStart(c)) {
+        LexIdentifierOrPrefixedString();
+        continue;
+      }
+      if (IsDigit(c) || (c == '.' && IsDigit(Peek(1)))) {
+        LexNumber();
+        continue;
+      }
+      if (c == '<' && expect_header_) {
+        LexHeaderName();
+        continue;
+      }
+      LexPunct();
+    }
+    return std::move(result_);
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= src_.size(); }
+
+  char Peek(size_t ahead) const {
+    // Looks through line splices so "1\<newline>e3" still lexes as one
+    // pp-number and "//" split across a splice is still a comment opener.
+    size_t p = pos_;
+    for (;;) {
+      while (p < src_.size() && IsSpliceAt(p)) {
+        p += SpliceLenAt(p);
+      }
+      if (ahead == 0) {
+        break;
+      }
+      if (p >= src_.size()) {
+        return '\0';
+      }
+      ++p;
+      --ahead;
+    }
+    while (p < src_.size() && IsSpliceAt(p)) {
+      p += SpliceLenAt(p);
+    }
+    return p < src_.size() ? src_[p] : '\0';
+  }
+
+  bool IsSpliceAt(size_t p) const {
+    if (src_[p] != '\\' || p + 1 >= src_.size()) {
+      return false;
+    }
+    return src_[p + 1] == '\n' || (src_[p + 1] == '\r' && p + 2 < src_.size() && src_[p + 2] == '\n');
+  }
+
+  size_t SpliceLenAt(size_t p) const { return src_[p + 1] == '\r' ? 3 : 2; }
+
+  void SkipSplices() {
+    while (!AtEnd() && IsSpliceAt(pos_)) {
+      size_t len = SpliceLenAt(pos_);
+      pos_ += len;
+      ++line_;
+      col_ = 1;
+    }
+  }
+
+  void NewLine() {
+    ++pos_;
+    ++line_;
+    col_ = 1;
+    expect_header_ = false;
+  }
+
+  // Consumes one raw character (no splice processing); caller guarantees it
+  // is not a newline.
+  char Take() {
+    char c = src_[pos_++];
+    ++col_;
+    return c;
+  }
+
+  // Consumes one logical character: splices first, then the character,
+  // tracking line/col across embedded newlines (for block comments / raw
+  // strings, which may span lines).
+  char TakeLogical() {
+    SkipSplices();
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  void Emit(TokenKind kind, std::string text, int line, int col, bool is_float = false) {
+    result_.tokens.push_back(Token{kind, std::move(text), line, col, is_float});
+    // True exactly after `# include`, so a following <...> lexes as one
+    // header-name token instead of punctuation soup.
+    const std::vector<Token>& t = result_.tokens;
+    const size_t n = t.size();
+    expect_header_ = kind == TokenKind::kIdentifier && t[n - 1].text == "include" && n >= 2 &&
+                     t[n - 2].kind == TokenKind::kPunct && t[n - 2].text == "#";
+  }
+
+  void LexLineComment() {
+    int line = line_, col = col_;
+    Take();  // '/'
+    Take();  // '/'
+    std::string text;
+    // A splice extends a line comment onto the next physical line.
+    for (;;) {
+      SkipSplices();
+      if (AtEnd() || src_[pos_] == '\n') {
+        break;
+      }
+      text += Take();
+    }
+    result_.comments.push_back(Comment{std::move(text), line, col, /*block=*/false});
+  }
+
+  void LexBlockComment() {
+    int line = line_, col = col_;
+    Take();  // '/'
+    Take();  // '*'
+    std::string text;
+    for (;;) {
+      if (AtEnd()) {
+        result_.errors.push_back("line " + std::to_string(line) + ": unterminated block comment");
+        break;
+      }
+      if (src_[pos_] == '*' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '/') {
+        Take();
+        Take();
+        break;
+      }
+      text += TakeLogical();
+    }
+    result_.comments.push_back(Comment{std::move(text), line, col, /*block=*/true});
+  }
+
+  void LexString(const std::string& prefix) {
+    int line = line_, col = col_ - static_cast<int>(prefix.size());
+    std::string text = prefix;
+    text += TakeLogical();  // opening '"'
+    for (;;) {
+      if (AtEnd() || src_[pos_] == '\n') {
+        result_.errors.push_back("line " + std::to_string(line) + ": unterminated string literal");
+        break;
+      }
+      char c = TakeLogical();
+      text += c;
+      if (c == '\\') {
+        if (!AtEnd() && src_[pos_] != '\n') {
+          text += TakeLogical();  // escaped character, possibly '"'
+        }
+        continue;
+      }
+      if (c == '"') {
+        break;
+      }
+    }
+    Emit(TokenKind::kString, std::move(text), line, col);
+  }
+
+  // R"delim( ... )delim" — no splice processing and no escapes inside.
+  void LexRawString(const std::string& prefix) {
+    int line = line_, col = col_ - static_cast<int>(prefix.size());
+    std::string text = prefix;
+    text += Take();  // '"'
+    std::string delim;
+    while (!AtEnd() && src_[pos_] != '(' && src_[pos_] != '\n' && delim.size() <= 16) {
+      delim += Take();
+    }
+    if (AtEnd() || src_[pos_] != '(') {
+      result_.errors.push_back("line " + std::to_string(line) + ": malformed raw string delimiter");
+      Emit(TokenKind::kString, std::move(text), line, col);
+      return;
+    }
+    text += delim;
+    text += Take();  // '('
+    const std::string closer = ")" + delim + "\"";
+    for (;;) {
+      if (AtEnd()) {
+        result_.errors.push_back("line " + std::to_string(line) + ": unterminated raw string");
+        break;
+      }
+      if (src_.compare(pos_, closer.size(), closer) == 0) {
+        for (size_t i = 0; i < closer.size(); ++i) {
+          text += Take();
+        }
+        break;
+      }
+      char c = src_[pos_++];
+      text += c;
+      if (c == '\n') {
+        ++line_;
+        col_ = 1;
+      } else {
+        ++col_;
+      }
+    }
+    Emit(TokenKind::kString, std::move(text), line, col);
+  }
+
+  void LexChar() {
+    int line = line_, col = col_;
+    std::string text;
+    text += TakeLogical();  // opening '\''
+    for (;;) {
+      if (AtEnd() || src_[pos_] == '\n') {
+        result_.errors.push_back("line " + std::to_string(line) + ": unterminated char literal");
+        break;
+      }
+      char c = TakeLogical();
+      text += c;
+      if (c == '\\') {
+        if (!AtEnd() && src_[pos_] != '\n') {
+          text += TakeLogical();
+        }
+        continue;
+      }
+      if (c == '\'') {
+        break;
+      }
+    }
+    Emit(TokenKind::kChar, std::move(text), line, col);
+  }
+
+  void LexIdentifierOrPrefixedString() {
+    int line = line_, col = col_;
+    std::string text;
+    for (;;) {
+      SkipSplices();
+      if (AtEnd() || !IsIdentChar(src_[pos_])) {
+        break;
+      }
+      text += Take();
+    }
+    if (!AtEnd() && src_[pos_] == '"' && IsStringPrefix(text)) {
+      if (text.back() == 'R') {
+        LexRawString(text);
+      } else {
+        LexString(text);
+      }
+      return;
+    }
+    Emit(TokenKind::kIdentifier, std::move(text), line, col);
+  }
+
+  void LexNumber() {
+    int line = line_, col = col_;
+    std::string text;
+    // pp-number: digits, identifier chars, '.', digit separators, and
+    // sign characters directly after a decimal or binary exponent.
+    for (;;) {
+      SkipSplices();
+      if (AtEnd()) {
+        break;
+      }
+      char c = src_[pos_];
+      if (IsIdentChar(c) || c == '.') {
+        text += Take();
+        continue;
+      }
+      if (c == '\'' && !text.empty() && IsIdentChar(Peek(1))) {
+        text += Take();  // digit separator
+        continue;
+      }
+      if ((c == '+' || c == '-') && !text.empty()) {
+        char prev = text.back();
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          text += Take();
+          continue;
+        }
+      }
+      break;
+    }
+    bool hex = text.size() > 1 && text[0] == '0' && (text[1] == 'x' || text[1] == 'X');
+    bool is_float = false;
+    if (text.find('.') != std::string::npos) {
+      is_float = true;
+    } else if (hex) {
+      is_float = text.find_first_of("pP") != std::string::npos;
+    } else {
+      // A decimal exponent makes it float; 'e' in a hex literal is a digit.
+      for (size_t i = 1; i < text.size(); ++i) {
+        if ((text[i] == 'e' || text[i] == 'E') && i + 1 < text.size() &&
+            (IsDigit(text[i + 1]) || text[i + 1] == '+' || text[i + 1] == '-')) {
+          is_float = true;
+          break;
+        }
+      }
+    }
+    Emit(TokenKind::kNumber, std::move(text), line, col, is_float);
+  }
+
+  void LexHeaderName() {
+    int line = line_, col = col_;
+    std::string text;
+    text += Take();  // '<'
+    while (!AtEnd() && src_[pos_] != '>' && src_[pos_] != '\n') {
+      text += Take();
+    }
+    if (!AtEnd() && src_[pos_] == '>') {
+      text += Take();
+    } else {
+      result_.errors.push_back("line " + std::to_string(line) + ": unterminated header name");
+    }
+    expect_header_ = false;
+    Emit(TokenKind::kString, std::move(text), line, col);
+  }
+
+  void LexPunct() {
+    int line = line_, col = col_;
+    static constexpr std::string_view kThree[] = {"<<=", ">>=", "<=>", "...", "->*"};
+    static constexpr std::string_view kTwo[] = {"::", "==", "!=", "<=", ">=", "->", "&&", "||",
+                                                "<<", ">>", "+=", "-=", "*=", "/=", "%=", "&=",
+                                                "|=", "^=", "++", "--", "##"};
+    char c0 = Peek(0), c1 = Peek(1), c2 = Peek(2);
+    std::string text;
+    std::string probe3{c0};
+    probe3 += c1;
+    probe3 += c2;
+    std::string probe2{c0};
+    probe2 += c1;
+    size_t len = 1;
+    for (std::string_view op : kThree) {
+      if (probe3 == op) {
+        len = 3;
+        break;
+      }
+    }
+    if (len == 1) {
+      for (std::string_view op : kTwo) {
+        if (probe2 == op) {
+          len = 2;
+          break;
+        }
+      }
+    }
+    for (size_t i = 0; i < len; ++i) {
+      SkipSplices();
+      text += Take();
+    }
+    Emit(TokenKind::kPunct, std::move(text), line, col);
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+  bool expect_header_ = false;
+  LexResult result_;
+};
+
+}  // namespace
+
+LexResult Lex(std::string_view source) { return Lexer(source).Run(); }
+
+}  // namespace lint
+}  // namespace aegaeon

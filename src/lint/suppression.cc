@@ -1,0 +1,111 @@
+#include "lint/suppression.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+
+namespace aegaeon {
+namespace lint {
+
+namespace {
+
+constexpr std::string_view kMarker = "LINT-ALLOW";
+
+std::string Trim(std::string_view s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) {
+    ++b;
+  }
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) {
+    --e;
+  }
+  return std::string(s.substr(b, e - b));
+}
+
+}  // namespace
+
+std::vector<Suppression> CollectSuppressions(const SourceFile& file,
+                                             const std::vector<std::string>& valid_rule_ids,
+                                             std::vector<Finding>* out) {
+  // First token column per line, to decide whether a comment is alone on
+  // its line (then it covers the next line instead of its own).
+  std::map<int, int> first_token_col;
+  for (const Token& tok : file.lex.tokens) {
+    auto [it, inserted] = first_token_col.emplace(tok.line, tok.col);
+    if (!inserted) {
+      it->second = std::min(it->second, tok.col);
+    }
+  }
+
+  std::vector<Suppression> result;
+  for (const Comment& comment : file.lex.comments) {
+    size_t search = 0;
+    while ((search = comment.text.find(kMarker, search)) != std::string::npos) {
+      size_t open = search + kMarker.size();
+      search = open;  // continue scanning after this marker either way
+      if (open >= comment.text.size() || comment.text[open] != '(') {
+        out->push_back(Finding{std::string(kLintAllowRuleId), file.path, comment.line, comment.col,
+                               "malformed LINT-ALLOW: expected LINT-ALLOW(rule-id): "
+                               "justification"});
+        continue;
+      }
+      size_t close = comment.text.find(')', open);
+      if (close == std::string::npos) {
+        out->push_back(Finding{std::string(kLintAllowRuleId), file.path, comment.line, comment.col,
+                               "malformed LINT-ALLOW: unterminated (rule-id)"});
+        continue;
+      }
+      Suppression sup;
+      sup.rule = Trim(std::string_view(comment.text).substr(open + 1, close - open - 1));
+      sup.line = comment.line;
+      sup.col = comment.col;
+      auto it = first_token_col.find(comment.line);
+      sup.own_line = it == first_token_col.end() || it->second > comment.col;
+      if (sup.own_line) {
+        auto next = first_token_col.upper_bound(comment.line);
+        sup.covers_line = next == first_token_col.end() ? 0 : next->first;
+      }
+
+      std::string_view rest = std::string_view(comment.text).substr(close + 1);
+      if (!rest.empty() && rest.front() == ':') {
+        sup.justification = Trim(rest.substr(1));
+        // Only the text up to the next marker (if several share a comment)
+        // belongs to this suppression.
+        size_t next = sup.justification.find(kMarker);
+        if (next != std::string::npos) {
+          sup.justification = Trim(sup.justification.substr(0, next));
+        }
+      }
+
+      if (std::find(valid_rule_ids.begin(), valid_rule_ids.end(), sup.rule) ==
+          valid_rule_ids.end()) {
+        out->push_back(Finding{std::string(kLintAllowRuleId), file.path, comment.line, comment.col,
+                               "LINT-ALLOW names unknown rule '" + sup.rule +
+                                   "' (see aegaeon_lint --list-rules)"});
+      } else if (sup.justification.empty()) {
+        out->push_back(Finding{std::string(kLintAllowRuleId), file.path, comment.line, comment.col,
+                               "bare LINT-ALLOW(" + sup.rule +
+                                   "): a justification is required — LINT-ALLOW(" + sup.rule +
+                                   "): why this is safe"});
+      } else {
+        result.push_back(std::move(sup));
+      }
+    }
+  }
+  return result;
+}
+
+bool IsSuppressed(const Finding& finding, const std::vector<Suppression>& suppressions) {
+  for (const Suppression& sup : suppressions) {
+    if (sup.rule != finding.rule) {
+      continue;
+    }
+    if (sup.line == finding.line || (sup.own_line && sup.covers_line == finding.line)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace lint
+}  // namespace aegaeon

@@ -1,0 +1,54 @@
+// Inline suppressions. The marker grammar, shown here as a live (inert)
+// example on a comment line:
+//
+//   host_cost = Elapsed(t0);  // LINT-ALLOW(wall-clock): host-side SimPerf
+//                             // timing; never feeds simulated time
+//
+// Replaces the old shell-script allowlist. A suppression on the same line
+// as a finding silences it; a suppression comment that is the only thing on
+// its line silences findings of that rule on the next line. The
+// justification after the colon is mandatory — a marker without one is
+// itself a finding (rule "lint-allow"), as is a marker naming an unknown
+// rule, so the allowlist can never silently rot.
+
+#ifndef AEGAEON_LINT_SUPPRESSION_H_
+#define AEGAEON_LINT_SUPPRESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "lint/finding.h"
+#include "lint/rule.h"
+
+namespace aegaeon {
+namespace lint {
+
+struct Suppression {
+  std::string rule;
+  std::string justification;  // may be empty: that is a lint-allow finding
+  int line = 0;               // line of the suppression marker
+  int col = 0;
+  bool own_line = false;  // no token starts before it on its line
+  // Line whose findings this marker silences besides its own: for an
+  // own-line marker, the next line that has any token (so a multi-line
+  // justification block covers the code right below it); 0 otherwise.
+  int covers_line = 0;
+};
+
+// Parses every suppression marker out of `file`'s comments. `own_line` is
+// computed against the token stream. Malformed markers (missing
+// justification, unknown rule id, unclosed parenthesis) are reported into
+// `out` as "lint-allow" findings; `valid_rule_ids` is the accepted id set.
+std::vector<Suppression> CollectSuppressions(const SourceFile& file,
+                                             const std::vector<std::string>& valid_rule_ids,
+                                             std::vector<Finding>* out);
+
+// True when `finding` (which must be located in the same file) is silenced
+// by one of `suppressions`: same rule on the finding's line, or an own-line
+// suppression of the same rule covering it from above.
+bool IsSuppressed(const Finding& finding, const std::vector<Suppression>& suppressions);
+
+}  // namespace lint
+}  // namespace aegaeon
+
+#endif  // AEGAEON_LINT_SUPPRESSION_H_

@@ -1,0 +1,61 @@
+// Token model for aegaeon_lint (src/lint): the project-native static
+// analyzer that guards the simulator's determinism contract at the source
+// level (DESIGN.md §11). The lexer produces a flat token stream per file —
+// comments, string/char literals, and raw strings are consumed correctly so
+// rules never fire on text inside them (the failure mode of the old grep
+// lint) — plus a side list of comments from which inline suppressions are
+// parsed (see suppression.h for the marker grammar).
+
+#ifndef AEGAEON_LINT_TOKEN_H_
+#define AEGAEON_LINT_TOKEN_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aegaeon {
+namespace lint {
+
+enum class TokenKind {
+  kIdentifier,  // identifiers and keywords (thread_local, const, ...)
+  kNumber,      // pp-number: integer or floating literal, any base/suffix
+  kString,      // string literal incl. prefixes, raw strings, <header-name>
+  kChar,        // character literal
+  kPunct,       // operators and punctuation, maximal munch ("::", "==", ...)
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;
+  int line = 0;  // 1-based, position of the token's first character
+  int col = 0;   // 1-based
+  // Set for kNumber when the literal is a floating constant (has a decimal
+  // point or a decimal/binary exponent): "1.0", ".5f", "1e9", "0x1.8p3".
+  bool is_float = false;
+};
+
+struct Comment {
+  std::string text;  // interior text, delimiters stripped, untrimmed
+  int line = 0;      // line of the opening "//" or "/*"
+  int col = 0;
+  bool block = false;  // true for /* ... */
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  // Lexical-level problems (unterminated literal/comment). The lexer
+  // recovers and keeps going; the analyzer reports these as findings.
+  std::vector<std::string> errors;
+};
+
+// Tokenizes one translation unit. Handles line splices (backslash-newline)
+// everywhere except inside raw strings, nested quote/comment interactions
+// ("/*" inside a string, quotes inside comments), and lexes the header-name
+// after `#include <...>` as a single string token.
+LexResult Lex(std::string_view source);
+
+}  // namespace lint
+}  // namespace aegaeon
+
+#endif  // AEGAEON_LINT_TOKEN_H_

@@ -195,9 +195,17 @@ class ShadowState {
   void TouchBlock(AllocatorShadow& shadow, const void* alloc, const BlockRef& block,
                   const TraceRecord& record, bool is_compute);
 
+  // Pointer keys here are pure identity lookups: the only iteration is
+  // TrackedBlocks' order-independent sum, so address order is never
+  // observable in reports or results. Keep it that way — any new loop over
+  // these must not let iteration order reach a report.
+  // LINT-ALLOW(pointer-keyed-container): identity lookup only, see above
   std::map<const void*, AllocatorShadow> allocators_;
+  // LINT-ALLOW(pointer-keyed-container): identity lookup only, never iterated
   std::map<const void*, std::string> names_;
+  // LINT-ALLOW(pointer-keyed-container): identity lookup only, never iterated
   std::map<const void*, TimePoint> queue_last_;
+  // LINT-ALLOW(pointer-keyed-container): identity lookup only, never iterated
   std::map<const void*, double> vram_;
 
   std::vector<TraceRecord> ring_;

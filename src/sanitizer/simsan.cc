@@ -83,6 +83,9 @@ namespace {
 
 // Set by ScopedInstance; hooks report here when non-null so a cell's shadow
 // state follows the cell across pool threads.
+// LINT-ALLOW(thread-local): ScopedInstance redirection pointer — this is the
+// mechanism that makes shadow state follow the simulated cell, not state
+// that could decouple from it. Never feeds simulated time or scheduling.
 thread_local SimSan* scoped_override = nullptr;
 
 }  // namespace
@@ -91,6 +94,8 @@ SimSan& ThreadInstance() {
   if (scoped_override != nullptr) {
     return *scoped_override;
   }
+  // LINT-ALLOW(thread-local): fallback checker for unscoped single-threaded
+  // use; sharded execution always installs ScopedInstance first
   thread_local SimSan instance;
   return instance;
 }

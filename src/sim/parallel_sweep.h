@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/thread_annotations.h"
 #include "sim/thread_pool.h"
 
 namespace aegaeon {
@@ -50,13 +51,15 @@ class ParallelSweep {
     std::vector<T> results(tasks.size());
     std::atomic<bool> failed{false};
     std::exception_ptr first_error;
-    std::mutex error_mu;
+    // Annotated (core/thread_annotations.h) like every pool-shared mutex;
+    // first_error is only written under it and only read after Wait().
+    Mutex error_mu;
     for (size_t i = 0; i < tasks.size(); ++i) {
       pool_.Submit([&, i] {
         try {
           results[i] = tasks[i]();
         } catch (...) {
-          std::lock_guard<std::mutex> lock(error_mu);
+          MutexLock lock(error_mu);
           if (!failed.exchange(true)) {
             first_error = std::current_exception();
           }

@@ -88,6 +88,8 @@ bool Rng::Bernoulli(double p) { return NextDouble() < p; }
 
 uint64_t Rng::Poisson(double mean) {
   assert(mean >= 0.0);
+  // LINT-ALLOW(float-equality): exact-zero sentinel — a zero-rate Poisson
+  // stream must emit exactly zero events, not "approximately zero"
   if (mean == 0.0) {
     return 0;
   }

@@ -21,10 +21,10 @@ ThreadPool::ThreadPool(int threads) {
 ThreadPool::~ThreadPool() {
   Wait();
   {
-    std::lock_guard<std::mutex> lock(wake_mu_);
+    MutexLock lock(wake_mu_);
     stop_ = true;
   }
-  wake_cv_.notify_all();
+  wake_cv_.NotifyAll();
   for (std::thread& t : threads_) {
     t.join();
   }
@@ -34,20 +34,22 @@ void ThreadPool::Submit(Task task) {
   size_t target = next_worker_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
   inflight_.fetch_add(1, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(workers_[target]->mu);
-    workers_[target]->tasks.push_back(std::move(task));
+    Worker& w = *workers_[target];
+    MutexLock lock(w.mu);
+    w.tasks.push_back(std::move(task));
   }
-  wake_cv_.notify_one();
+  wake_cv_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(wake_mu_);
-  idle_cv_.wait(lock, [this] { return inflight_.load(std::memory_order_acquire) == 0; });
+  MutexLock lock(wake_mu_);
+  idle_cv_.Wait(wake_mu_,
+                [this] { return inflight_.load(std::memory_order_acquire) == 0; });
 }
 
 bool ThreadPool::TryPopOwn(size_t self, Task& task) {
   Worker& w = *workers_[self];
-  std::lock_guard<std::mutex> lock(w.mu);
+  MutexLock lock(w.mu);
   if (w.tasks.empty()) {
     return false;
   }
@@ -60,7 +62,7 @@ bool ThreadPool::TrySteal(size_t self, Task& task) {
   size_t n = workers_.size();
   for (size_t i = 1; i < n; ++i) {
     Worker& victim = *workers_[(self + i) % n];
-    std::lock_guard<std::mutex> lock(victim.mu);
+    MutexLock lock(victim.mu);
     if (!victim.tasks.empty()) {
       task = std::move(victim.tasks.back());
       victim.tasks.pop_back();
@@ -78,18 +80,18 @@ void ThreadPool::WorkerLoop(size_t self) {
       if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         // Last task out: wake Wait()ers. Take the lock so the notification
         // cannot race between a waiter's predicate check and its sleep.
-        std::lock_guard<std::mutex> lock(wake_mu_);
-        idle_cv_.notify_all();
+        MutexLock lock(wake_mu_);
+        idle_cv_.NotifyAll();
       }
       continue;
     }
-    std::unique_lock<std::mutex> lock(wake_mu_);
+    MutexLock lock(wake_mu_);
     if (stop_) {
       return;
     }
     // Re-check the queues under the wake lock: a Submit may have landed
     // between the failed pop attempts and here.
-    wake_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    wake_cv_.WaitFor(wake_mu_, std::chrono::milliseconds(1));
   }
 }
 

@@ -3,18 +3,22 @@
 // at submission, a worker pops from the front of its own deque, and an idle
 // worker steals from the back of a victim's deque. There is no global queue
 // to contend on; the pool is oblivious to what the tasks compute.
+//
+// Locking discipline is machine-checked: members carry Clang Thread Safety
+// annotations (core/thread_annotations.h) and the `thread-safety` CI job
+// compiles this with -Werror=thread-safety.
 
 #ifndef AEGAEON_SIM_THREAD_POOL_H_
 #define AEGAEON_SIM_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "core/thread_annotations.h"
 
 namespace aegaeon {
 
@@ -42,24 +46,24 @@ class ThreadPool {
 
  private:
   struct Worker {
-    std::mutex mu;
-    std::deque<Task> tasks;
+    Mutex mu;
+    std::deque<Task> tasks GUARDED_BY(mu);
   };
 
   void WorkerLoop(size_t self);
-  bool TryPopOwn(size_t self, Task& task);
-  bool TrySteal(size_t self, Task& task);
+  bool TryPopOwn(size_t self, Task& task) EXCLUDES(wake_mu_);
+  bool TrySteal(size_t self, Task& task) EXCLUDES(wake_mu_);
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
 
-  std::mutex wake_mu_;
-  std::condition_variable wake_cv_;
-  std::condition_variable idle_cv_;
+  Mutex wake_mu_;
+  CondVar wake_cv_;
+  CondVar idle_cv_;
   std::atomic<size_t> next_worker_{0};
   // Tasks submitted but not yet finished running.
   std::atomic<size_t> inflight_{0};
-  bool stop_ = false;
+  bool stop_ GUARDED_BY(wake_mu_) = false;
 };
 
 }  // namespace aegaeon

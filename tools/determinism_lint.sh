@@ -1,102 +1,28 @@
 #!/usr/bin/env bash
-# Determinism lint: greps src/ for constructs that make simulation results
-# depend on something other than the inputs (hash iteration order, wall
-# clock, global PRNG state). The simulator's contract is bit-identical
-# output for identical (config, trace, seed) on every platform, so these
-# are bugs, not style nits.
+# Thin wrapper over aegaeon_lint (tools/aegaeon_lint.cpp), kept for CI and
+# muscle-memory compatibility with the old grep-based determinism lint. All
+# rules, the suppression policy (inline LINT-ALLOW markers with mandatory
+# justifications — replacing the shell allowlist that used to live here),
+# and the output formats live in the binary: see `aegaeon_lint --help` and
+# DESIGN.md §11.
 #
-# Checks:
-#   1. std::unordered_map / std::unordered_set — iteration order is
-#      implementation-defined; anything iterating one of these on a
-#      scheduling, eviction, or accounting path diverges across platforms.
-#      Use std::map / sorted vectors / dense arrays instead.
-#   2. wall-clock reads (std::chrono::system_clock, steady_clock, time(),
-#      gettimeofday) — simulated time must come from the event queue.
-#   3. bare rand()/srand() — all randomness must flow through sim/random.h
-#      (seeded, engine-stable SplitMix/xoshiro).
-#   4. thread_local state — the sharded fleet executor moves cells across
-#      pool threads between epochs, so per-thread state silently decouples
-#      from the simulated entity it belongs to. Scope state to the cell
-#      (see simsan::ScopedInstance) instead.
+# Usage: tools/determinism_lint.sh [aegaeon_lint args...]
+#   (no args: lints src/, exits nonzero on findings)
 #
-# A file:line may be allowlisted below with a justification; everything
-# else fails the build. Run from anywhere; exits non-zero on findings.
+# Set AEGAEON_LINT_BIN to reuse an existing binary; otherwise the script
+# builds the `aegaeon_lint` target in ./build (configuring if needed).
 
-set -u
+set -euo pipefail
+
 cd "$(dirname "$0")/.."
 
-SRC_DIRS=(src)
-status=0
-
-# --- allowlist -------------------------------------------------------------
-# Format: "<file>:<substring-of-line>"  — keep each entry justified.
-ALLOWLIST=(
-  # thread_pool measures *host* idle time to park workers; this never feeds
-  # simulated time or scheduling decisions.
-  "src/sim/thread_pool.cc:std::chrono::steady_clock"
-  # simulator.cc times the *host* cost of a run for SimPerf reports
-  # (events/s); simulated time comes exclusively from the event queue.
-  "src/sim/simulator.cc:std::chrono::steady_clock"
-  # sharded_sim.cc times the *host* cost of each shard's epoch advance for
-  # the per-shard SimPerfCounters; epoch horizons come from the serial
-  # barrier stage, never from this clock.
-  "src/sim/sharded_sim.cc:std::chrono::steady_clock"
-  # simsan.cc keeps per-thread shadow-checker instances; ScopedInstance
-  # redirects them so shadow state follows the simulated cell, not the
-  # host thread. Never feeds simulated time or scheduling.
-  "src/sanitizer/simsan.cc:thread_local SimSan"
-)
-
-allowlisted() {
-  local file="$1" line="$2"
-  for entry in "${ALLOWLIST[@]}"; do
-    local afile="${entry%%:*}" apat="${entry#*:}"
-    if [[ "$file" == "$afile" && "$line" == *"$apat"* ]]; then
-      return 0
-    fi
-  done
-  return 1
-}
-
-report() {
-  local why="$1" file="$2" lineno="$3" line="$4"
-  echo "determinism-lint: $file:$lineno: $why"
-  echo "    $line"
-  status=1
-}
-
-scan() {
-  local pattern="$1" why="$2"
-  while IFS= read -r match; do
-    [[ -z "$match" ]] && continue
-    local file="${match%%:*}"
-    local rest="${match#*:}"
-    local lineno="${rest%%:*}"
-    local line="${rest#*:}"
-    # Ignore matches that live entirely inside a // comment.
-    local code="${line%%//*}"
-    if ! grep -qE "$pattern" <<< "$code"; then
-      continue
-    fi
-    if allowlisted "$file" "$line"; then
-      continue
-    fi
-    report "$why" "$file" "$lineno" "$line"
-  done < <(grep -rnE "$pattern" "${SRC_DIRS[@]}" --include='*.h' --include='*.cc' || true)
-}
-
-scan 'std::unordered_(map|set|multimap|multiset)' \
-  "unordered container (hash iteration order is not deterministic)"
-scan 'std::chrono::(system_clock|steady_clock|high_resolution_clock)' \
-  "wall-clock read (simulated time must come from the event queue)"
-scan '(^|[^a-zA-Z0-9_:.])(time|gettimeofday)\s*\(' \
-  "wall-clock read (simulated time must come from the event queue)"
-scan '(^|[^a-zA-Z0-9_:.])s?rand\s*\(' \
-  "bare rand()/srand() (use the seeded engines in sim/random.h)"
-scan '(^|[^a-zA-Z0-9_])thread_local([^a-zA-Z0-9_]|$)' \
-  "thread_local state (sharded execution moves work across threads; scope state to the simulated entity instead)"
-
-if [[ $status -eq 0 ]]; then
-  echo "determinism-lint: OK (no nondeterministic constructs in ${SRC_DIRS[*]})"
+BIN="${AEGAEON_LINT_BIN:-}"
+if [[ -z "${BIN}" ]]; then
+  BIN=build/tools/aegaeon_lint
+  if [[ ! -x "${BIN}" ]]; then
+    cmake -B build -S . >/dev/null
+  fi
+  cmake --build build --target aegaeon_lint -j "$(nproc)" >/dev/null
 fi
-exit $status
+
+exec "${BIN}" "$@"

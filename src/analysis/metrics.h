@@ -74,6 +74,10 @@ struct RunMetrics {
   // Conservative-sync epochs executed by the fleet (0 for single-cluster
   // runs). Deterministic: a pure function of the trace and the lookahead.
   uint64_t sync_epochs = 0;
+  // Lookahead slots the fleet's barrier loop jumped without an epoch (dead
+  // slots snapped over + slots batched under route_quantum). Deterministic,
+  // like sync_epochs.
+  uint64_t sync_epochs_skipped = 0;
 
   // Folds another run's simulated results into this one (cell -> fleet
   // aggregation): sums the counters, concatenates the samples, keeps the

@@ -171,7 +171,8 @@ void WriteMetricsJson(std::ostream& os, const RunMetrics& metrics) {
      << "\"wall_seconds\":" << metrics.sim.wall_seconds << ","
      << "\"events_per_sec\":" << metrics.sim.EventsPerSec();
   if (metrics.sync_epochs > 0) {
-    os << ",\"sync_epochs\":" << metrics.sync_epochs;
+    os << ",\"sync_epochs\":" << metrics.sync_epochs
+       << ",\"sync_epochs_skipped\":" << metrics.sync_epochs_skipped;
   }
   if (!metrics.shard_sim.empty()) {
     os << ",\"shards\":[";
@@ -179,7 +180,14 @@ void WriteMetricsJson(std::ostream& os, const RunMetrics& metrics) {
       const SimPerfCounters& shard = metrics.shard_sim[i];
       os << (i == 0 ? "" : ",") << "{"
          << "\"events_processed\":" << shard.events_processed << ","
-         << "\"wall_seconds\":" << shard.wall_seconds << "}";
+         << "\"wall_seconds\":" << shard.wall_seconds << ","
+         << "\"idle_shard_skips\":" << shard.idle_shard_skips << ","
+         << "\"barrier_wait_seconds\":" << shard.barrier_wait_seconds;
+      if (shard.epochs_skipped > 0) {
+        // Global loop property, stamped on shard 0 (see SimPerfCounters).
+        os << ",\"epochs_skipped\":" << shard.epochs_skipped;
+      }
+      os << "}";
     }
     os << "]";
   }

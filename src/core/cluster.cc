@@ -235,7 +235,8 @@ void AegaeonCluster::BeginRun() {
 }
 
 void AegaeonCluster::InjectArrivals(const ArrivalEvent* events, size_t count, Duration delay) {
-  std::vector<EventQueue::Pending> batch;
+  std::vector<EventQueue::Pending>& batch = inject_scratch_;
+  batch.clear();
   batch.reserve(count);
   for (size_t i = 0; i < count; ++i) {
     const ArrivalEvent& event = events[i];
@@ -259,7 +260,8 @@ void AegaeonCluster::InjectArrivals(const ArrivalEvent* events, size_t count, Du
     }
     batch.push_back(std::move(pending));
   }
-  sim_.ScheduleBatch(std::move(batch));
+  // Range form: the scratch keeps its capacity for the next epoch.
+  sim_.ScheduleBatch(batch.data(), batch.size());
 }
 
 uint64_t AegaeonCluster::AdvanceUntil(TimePoint horizon) { return sim_.RunUntil(horizon); }

@@ -72,6 +72,9 @@ class AegaeonCluster {
   uint64_t injected_requests() const { return requests_.size(); }
   TimePoint Now() const { return sim_.Now(); }
   bool pending() const { return sim_.pending(); }
+  // Earliest pending event (kTimeNever when idle); the fleet's barrier
+  // stage uses it to skip cells with nothing to do inside an epoch.
+  TimePoint NextEventTime() { return sim_.NextEventTime(); }
   const SimPerfCounters& sim_perf() const { return sim_.perf(); }
 
   // --- Fault injection (§3.3: the proxy layer provides fault tolerance) --
@@ -247,6 +250,9 @@ class AegaeonCluster {
   // Deque: InjectArrivals appends incrementally while scheduled events hold
   // pointers to earlier elements, so reallocation is not an option.
   std::deque<Request> requests_;
+  // Reused by InjectArrivals (capacity retained), so per-epoch injection
+  // under the sharded fleet does no steady-state heap allocation.
+  std::vector<EventQueue::Pending> inject_scratch_;
   uint64_t completed_count_ = 0;
   TimelineRecorder* timeline_ = nullptr;
 };

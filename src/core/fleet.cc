@@ -32,12 +32,16 @@ ShardedFleet::ShardedFleet(FleetConfig config, const ModelRegistry& registry,
   cells_.reserve(static_cast<size_t>(cells));
   simsan_.reserve(static_cast<size_t>(cells));
   routed_.assign(static_cast<size_t>(cells), 0);
+  pending_routed_.assign(static_cast<size_t>(cells), 0);
+  delivery_batches_.reserve(static_cast<size_t>(cells));
+  touched_cells_.reserve(static_cast<size_t>(cells));
   for (int i = 0; i < cells; ++i) {
     simsan_.push_back(std::make_unique<simsan::SimSan>());
     // Construction registers allocators/streams with the checker, so it
     // must already run under the cell's scope.
     simsan::ScopedInstance scope(*simsan_[static_cast<size_t>(i)]);
     cells_.push_back(std::make_unique<AegaeonCluster>(config_.cell, registry, gpu_spec));
+    delivery_batches_.emplace_back(ArenaAllocator<ArrivalEvent>(&delivery_arena_));
   }
 }
 
@@ -67,14 +71,17 @@ void ShardedFleet::ShardRange(int shard, int* begin, int* end) const {
 int ShardedFleet::RouteArrival(const ArrivalEvent& event) {
   (void)event;
   // Least outstanding work, ties to the lowest cell id. Outstanding counts
-  // both served and just-routed requests: injected_requests() reflects the
-  // routing already performed at this barrier, so a burst spreads across
-  // cells instead of piling onto one snapshot winner.
+  // served, injected, and just-routed requests: pending_routed_ reflects
+  // the routing already performed at this barrier (delivery is batched at
+  // the end of the window), so a burst spreads across cells instead of
+  // piling onto one snapshot winner — the same arithmetic per-arrival
+  // delivery produced via injected_requests().
   int best = 0;
   uint64_t best_load = ~uint64_t{0};
   for (int i = 0; i < cells(); ++i) {
     const AegaeonCluster& cell = *cells_[static_cast<size_t>(i)];
-    const uint64_t load = cell.injected_requests() - cell.settled_requests();
+    const uint64_t load = cell.injected_requests() - cell.settled_requests() +
+                          pending_routed_[static_cast<size_t>(i)];
     if (load < best_load) {
       best_load = load;
       best = i;
@@ -83,10 +90,11 @@ int ShardedFleet::RouteArrival(const ArrivalEvent& event) {
   return best;
 }
 
-TimePoint ShardedFleet::PlanEpoch() {
+ShardedSim::EpochPlan ShardedFleet::PlanEpoch() {
   const std::vector<ArrivalEvent>& trace = *trace_;
+  ShardedSim::EpochPlan plan;  // horizon = kTimeNever: final drain epoch
   if (next_arrival_ >= trace.size()) {
-    return kTimeNever;  // nothing left to route: final drain epoch
+    return plan;  // nothing left to route
   }
   if (lookahead_ >= kTimeNever) {
     // No cross-cell channel (single cell): route everything up front and
@@ -94,36 +102,92 @@ TimePoint ShardedFleet::PlanEpoch() {
     while (next_arrival_ < trace.size()) {
       const ArrivalEvent& event = trace[next_arrival_++];
       const int target = RouteArrival(event);
+      ++pending_routed_[static_cast<size_t>(target)];
       mailboxes_.Post(mailboxes_.Dispatcher(), target, event.time, event);
-      DeliverMailboxes();
     }
-    return kTimeNever;
+    DeliverMailboxes();
+    return plan;
   }
-  // Fast-forward empty epochs: snap the window to the lookahead grid slot
-  // holding the next undispatched arrival. Grid times are a pure function
-  // of (trace, lookahead), so every shard count sees identical barriers.
-  const TimePoint base = std::floor(trace[next_arrival_].time / lookahead_) * lookahead_;
-  const TimePoint horizon = base + lookahead_;
+  // Next observable time: the earliest unrouted arrival. Cells cannot emit
+  // cross-shard traffic today (no cell-originated channel is implemented),
+  // so cell-local events never bound the window — unless a reserved
+  // cross_cell_* channel is enabled, in which case every cell's earliest
+  // event becomes observable and router batching would leak stale state:
+  // collapse to exact one-slot windows.
+  TimePoint next_observable = trace[next_arrival_].time;
+  int quantum = config_.epoch_skipping ? std::max(config_.route_quantum, 1) : 1;
+  if (config_.cross_cell_kv || config_.cross_cell_autoscale) {
+    for (const std::unique_ptr<AegaeonCluster>& cell : cells_) {
+      next_observable = std::min(next_observable, cell->NextEventTime());
+    }
+    quantum = 1;
+  }
+  // Snap the window to the lookahead grid slot holding the next observable
+  // time, then extend it to `quantum` slots. Grid times are a pure function
+  // of (trace, lookahead, quantum), so every shard count sees identical
+  // barriers. Slots between the previous barrier and the window start are
+  // dead — no arrival, no pending cross-cell event — and are skipped
+  // without a barrier; the batched slots past the first also save a barrier
+  // each, so both are counted as skipped.
+  const TimePoint base = std::floor(next_observable / lookahead_) * lookahead_;
+  const TimePoint horizon = base + static_cast<double>(quantum) * lookahead_;
+  plan.slots_skipped =
+      static_cast<uint64_t>(std::llround((horizon - barrier_) / lookahead_)) - 1;
   while (next_arrival_ < trace.size() && trace[next_arrival_].time < horizon) {
     const ArrivalEvent& event = trace[next_arrival_++];
     const int target = RouteArrival(event);
+    ++pending_routed_[static_cast<size_t>(target)];
     // Routed through the mailbox like any cross-shard event: delivery time
-    // is the arrival plus the dispatch hop, which is >= the horizon — the
-    // current epoch cannot observe it, the next one will.
+    // is the arrival plus the dispatch hop. With quantum == 1 that is >=
+    // the horizon (the next window observes it); with a wider window it may
+    // land inside this window — still causally safe, because delivery
+    // happens here at the barrier, before any cell advances.
     mailboxes_.Post(mailboxes_.Dispatcher(), target, event.time + config_.dispatch_latency,
                     event);
-    DeliverMailboxes();
   }
-  return horizon;
+  DeliverMailboxes();
+  barrier_ = horizon;
+  plan.horizon = horizon;
+  return plan;
 }
 
 void ShardedFleet::DeliverMailboxes() {
-  for (const CrossShardEvent<ArrivalEvent>& event : mailboxes_.Collect()) {
-    AegaeonCluster& cell = *cells_[static_cast<size_t>(event.target)];
-    simsan::ScopedInstance scope(*simsan_[static_cast<size_t>(event.target)]);
-    cell.InjectArrivals(&event.payload, 1, config_.dispatch_latency);
-    ++routed_[static_cast<size_t>(event.target)];
+  // Collected order is (time, source, seq) == post order here (single
+  // serial dispatcher source, time-sorted trace), so per-cell batches
+  // preserve exactly the order per-arrival delivery would have injected.
+  mailboxes_.CollectInto(collected_);
+  if (collected_.empty()) {
+    return;
   }
+  for (const CrossShardEvent<ArrivalEvent>& event : collected_) {
+    ArrivalBatch& batch = delivery_batches_[static_cast<size_t>(event.target)];
+    if (batch.empty()) {
+      touched_cells_.push_back(event.target);
+    }
+    batch.push_back(event.payload);
+  }
+  for (const int target : touched_cells_) {
+    ArrivalBatch& batch = delivery_batches_[static_cast<size_t>(target)];
+    AegaeonCluster& cell = *cells_[static_cast<size_t>(target)];
+    simsan::ScopedInstance scope(*simsan_[static_cast<size_t>(target)]);
+    cell.InjectArrivals(batch.data(), batch.size(), config_.dispatch_latency);
+    routed_[static_cast<size_t>(target)] += batch.size();
+    pending_routed_[static_cast<size_t>(target)] -= batch.size();
+    batch.clear();
+  }
+  touched_cells_.clear();
+}
+
+bool ShardedFleet::ShardHasWork(int shard, TimePoint horizon) {
+  int begin = 0, end = 0;
+  ShardRange(shard, &begin, &end);
+  for (int i = begin; i < end; ++i) {
+    AegaeonCluster& cell = *cells_[static_cast<size_t>(i)];
+    if (horizon >= kTimeNever ? cell.pending() : cell.NextEventTime() <= horizon) {
+      return true;
+    }
+  }
+  return false;
 }
 
 RunMetrics ShardedFleet::Run(const std::vector<ArrivalEvent>& trace) {
@@ -134,6 +198,7 @@ RunMetrics ShardedFleet::Run(const std::vector<ArrivalEvent>& trace) {
          "fleet dispatch consumes the trace in time order");
   trace_ = &trace;
   next_arrival_ = 0;
+  barrier_ = 0.0;
   {
     MutexLock lock(overrun_mu_);
     sync_overruns_ = 0;
@@ -148,14 +213,31 @@ RunMetrics ShardedFleet::Run(const std::vector<ArrivalEvent>& trace) {
     }
   });
 
+  // The idle probe is only wired up under epoch skipping; the pre-skip
+  // protocol advanced (and clock-pinned) every cell every epoch, and the
+  // off mode reproduces that exactly.
+  std::function<bool(int, TimePoint)> has_work;
+  if (config_.epoch_skipping) {
+    has_work = [this](int shard, TimePoint horizon) { return ShardHasWork(shard, horizon); };
+  }
+
   sharded_.Run(
-      [this] { return PlanEpoch(); },
+      [this] { return PlanEpoch(); }, has_work,
       [this](int shard, TimePoint horizon) {
         int begin = 0, end = 0;
         ShardRange(shard, &begin, &end);
         uint64_t processed = 0;
         for (int i = begin; i < end; ++i) {
           AegaeonCluster& cell = *cells_[static_cast<size_t>(i)];
+          if (config_.epoch_skipping) {
+            // Per-cell idle skip: the predicate depends only on this cell's
+            // own queue and the global horizon sequence, so the outcome —
+            // including the skipped cell's unpinned clock — is identical
+            // for every shard count.
+            if (horizon >= kTimeNever ? !cell.pending() : cell.NextEventTime() > horizon) {
+              continue;
+            }
+          }
           simsan::SimSan& checker = *simsan_[static_cast<size_t>(i)];
           simsan::ScopedInstance scope(checker);
           processed += horizon >= kTimeNever ? cell.AdvanceAll() : cell.AdvanceUntil(horizon);
@@ -186,12 +268,14 @@ RunMetrics ShardedFleet::Run(const std::vector<ArrivalEvent>& trace) {
   }
   fleet.shard_sim = sharded_.shard_perf();
   fleet.sync_epochs = sharded_.epochs();
+  fleet.sync_epochs_skipped = sharded_.epochs_skipped();
   return fleet;
 }
 
 FleetAudit ShardedFleet::audit() const {
   FleetAudit audit;
   audit.epochs = sharded_.epochs();
+  audit.epochs_skipped = sharded_.epochs_skipped();
   {
     MutexLock lock(overrun_mu_);
     audit.sync_overruns = sync_overruns_;

@@ -12,20 +12,28 @@
 // Parallelism. The cells are grouped into `shards` contiguous groups; a
 // shard is the unit of parallel execution, nothing more. Execution proceeds
 // in epochs: a serial barrier stage dispatches the next window of arrivals
-// (through deterministic EpochMailboxes), then every shard advances its
-// cells to the epoch horizon on the thread pool. The horizon step is the
-// conservative lookahead — the minimum enabled cross-cell channel latency,
-// i.e. `dispatch_latency` — so everything a cell does within an epoch is
-// invisible to other cells until after the barrier, and the parallel
-// advance cannot reorder observable events.
+// (through deterministic EpochMailboxes), then every shard with runnable
+// work advances its cells to the epoch horizon on a gang of persistent
+// workers. The epoch window is a whole number of conservative-lookahead
+// slots (lookahead = the minimum enabled cross-cell channel latency, i.e.
+// `dispatch_latency`): the barrier snaps past slots in which nothing
+// observable happens and, with `epoch_skipping` on, batches up to
+// `route_quantum` slots of router decisions per barrier. Everything a cell
+// does within an epoch is invisible to other cells until after the barrier
+// (no enabled cell-originated channel), so the parallel advance cannot
+// reorder observable events.
 //
-// Determinism. Epoch boundaries, dispatch decisions, and mailbox order are
-// computed serially from the trace alone; shards own disjoint state during
-// the advance. RunMetrics are therefore bit-identical for every shard
-// count, including shards == 1. With cells == 1 the lookahead is infinite
-// (a single cell has no cross-cell channel): the run collapses to one
-// epoch and, with dispatch_latency == 0, reproduces a plain
-// AegaeonCluster::Run exactly. See DESIGN.md §8.
+// Determinism. Epoch boundaries, dispatch decisions, mailbox order, and
+// the per-cell idle-skip probe are computed serially from trace + cell
+// state alone; shards own disjoint state during the advance. RunMetrics
+// are therefore bit-identical for every shard count, including shards == 1,
+// and every worker count. `route_quantum` IS part of the simulated
+// configuration (it widens the dispatcher's snapshot staleness bound to
+// ~quantum * lookahead); changing it changes results, changing shards or
+// threads never does. With cells == 1 the lookahead is infinite (a single
+// cell has no cross-cell channel): the run collapses to one epoch and,
+// with dispatch_latency == 0, reproduces a plain AegaeonCluster::Run
+// exactly. See DESIGN.md §8.
 //
 // SimSan. Each cell gets its own checker instance, installed (ScopedInstance)
 // around construction, every advance, teardown, and destruction, so shadow
@@ -46,6 +54,7 @@
 #include "core/request.h"
 #include "core/thread_annotations.h"
 #include "hw/gpu_spec.h"
+#include "mem/bump_allocator.h"
 #include "model/registry.h"
 #include "sanitizer/simsan.h"
 #include "sim/mailbox.h"
@@ -73,6 +82,20 @@ struct FleetConfig {
   // no fleet-level implementation yet).
   bool cross_cell_kv = false;
   bool cross_cell_autoscale = false;
+  // Epoch-skipping conservative sync. Off: one barrier per occupied
+  // lookahead slot and every cell advances (and pins its clock) every
+  // epoch — the exact pre-skip protocol. On: the barrier batches router
+  // decisions for up to `route_quantum` lookahead slots per epoch and
+  // cells/shards with no runnable event inside the window sit the epoch
+  // out. `route_quantum` bounds the dispatcher's load-snapshot staleness
+  // at ~route_quantum * dispatch_latency, so it is part of the simulated
+  // configuration: results are bit-identical across shards/threads for any
+  // fixed value, but differ between values (and between skipping on/off).
+  // Forced to 1 whenever a cell-originated channel (cross_cell_*) is
+  // enabled, because then cells can emit observable cross-shard traffic
+  // mid-window.
+  bool epoch_skipping = true;
+  int route_quantum = 4;
   // Every cell's configuration (instances per cell, memory sizing, ...).
   AegaeonConfig cell;
 };
@@ -80,6 +103,7 @@ struct FleetConfig {
 // Pooled sanitizer + protocol health of a fleet run.
 struct FleetAudit {
   uint64_t epochs = 0;
+  uint64_t epochs_skipped = 0;  // lookahead slots jumped without a barrier
   uint64_t checks = 0;          // SimSan checks across all cells (0 when off)
   uint64_t violations = 0;      // SimSan violations across all cells
   uint64_t sync_overruns = 0;   // cell shadow watermark crossed an epoch horizon
@@ -105,6 +129,8 @@ class ShardedFleet {
   Duration lookahead() const { return lookahead_; }
   // Conservative-sync epochs executed by the last Run.
   uint64_t epochs() const { return sharded_.epochs(); }
+  // Lookahead slots jumped without a barrier by the last Run.
+  uint64_t epochs_skipped() const { return sharded_.epochs_skipped(); }
 
   AegaeonCluster& cell(int index) { return *cells_[static_cast<size_t>(index)]; }
   const AegaeonCluster& cell(int index) const { return *cells_[static_cast<size_t>(index)]; }
@@ -116,15 +142,24 @@ class ShardedFleet {
   FleetAudit audit() const;
 
  private:
+  using ArrivalBatch = std::vector<ArrivalEvent, ArenaAllocator<ArrivalEvent>>;
+
   // Contiguous [begin, end) cell range owned by `shard`.
   void ShardRange(int shard, int* begin, int* end) const;
-  // Serial barrier stage: routes every arrival in the next epoch window and
-  // returns its horizon (kTimeNever to request the final drain epoch).
-  TimePoint PlanEpoch();
+  // Serial barrier stage: routes every arrival in the next epoch window,
+  // delivers the mailboxes, and returns the window's horizon (kTimeNever to
+  // request the final drain epoch) plus the slots it skipped.
+  ShardedSim::EpochPlan PlanEpoch();
   // Routes one arrival to the least-outstanding cell (ties: lowest id).
+  // Outstanding includes requests routed at this barrier but not yet
+  // delivered (pending_routed_).
   int RouteArrival(const ArrivalEvent& event);
-  // Delivers the barrier's mailbox content into the target cells.
+  // Delivers the barrier's mailbox content into the target cells, one
+  // batched InjectArrivals per touched cell.
   void DeliverMailboxes();
+  // True when any cell of `shard` can process an event at or before
+  // `horizon` (serial barrier stage only).
+  bool ShardHasWork(int shard, TimePoint horizon);
 
   FleetConfig config_;
   Duration lookahead_ = kTimeNever;
@@ -139,6 +174,21 @@ class ShardedFleet {
   // Run-scoped dispatch state (serial barrier stage only).
   const std::vector<ArrivalEvent>* trace_ = nullptr;
   size_t next_arrival_ = 0;
+  // End of the previous epoch window (lookahead-grid aligned); the skip
+  // counter measures jumps from here.
+  TimePoint barrier_ = 0.0;
+  // Requests routed at the current barrier, not yet injected; folded into
+  // RouteArrival's load so batched delivery sees the same arithmetic as
+  // per-arrival delivery.
+  std::vector<uint64_t> pending_routed_;
+  // Barrier-stage scratch, all capacity-retaining / arena-backed so the
+  // steady-state epoch loop performs no heap allocation: the collected
+  // mailbox events, one ArrivalEvent batch per cell, and the list of cells
+  // touched this epoch (in first-delivery order).
+  BumpArena delivery_arena_;
+  std::vector<CrossShardEvent<ArrivalEvent>> collected_;
+  std::vector<ArrivalBatch> delivery_batches_;
+  std::vector<int> touched_cells_;
 
   // Incremented from parallel advances (cold path: overruns mean the
   // conservative-sync protocol itself is broken); read by audit(). The

@@ -100,14 +100,17 @@ std::vector<EventQueue::Pending> EventQueue::Drain() {
   return out;
 }
 
-void EventQueue::Merge(std::vector<Pending> events) {
-  if (events.empty()) {
+void EventQueue::Merge(std::vector<Pending> events) { Merge(events.data(), events.size()); }
+
+void EventQueue::Merge(Pending* events, size_t count) {
+  if (count == 0) {
     return;
   }
   // Below this, per-event sifting beats a full rebuild.
-  const bool bulk = events.size() * 2 >= heap_.size() + events.size();
-  heap_.reserve(heap_.size() + events.size());
-  for (Pending& event : events) {
+  const bool bulk = count * 2 >= heap_.size() + count;
+  heap_.reserve(heap_.size() + count);
+  for (size_t i = 0; i < count; ++i) {
+    Pending& event = events[i];
     uint32_t slot = AcquireSlot();
     slots_[slot].cb = std::move(event.cb);
     heap_.push_back(Entry{event.when, next_seq_++, slot});

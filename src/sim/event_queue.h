@@ -72,6 +72,12 @@ class EventQueue {
   // outstanding EventIds stay valid.
   void Merge(std::vector<Pending> events);
 
+  // Range form: moves the callbacks out of [events, events + count) but
+  // leaves the storage with the caller, so a reused scratch vector keeps
+  // its capacity across epochs — the sharded fleet's zero-steady-state-
+  // allocation injection path.
+  void Merge(Pending* events, size_t count);
+
   bool empty() const { return live_count_ == 0; }
   size_t size() const { return live_count_; }
 

@@ -10,14 +10,22 @@
 // `seq` (per-source, assigned in post order) preserves each producer's own
 // FIFO order. Because shards only post during the parallel phase and only
 // collect during the serial barrier stage, the mailboxes need no locking.
+//
+// Allocation: each source's box draws from its own BumpArena
+// (mem/bump_allocator.h) — per-source, so concurrent posters never share an
+// arena — and CollectInto() drains into a caller-reused vector. Boxes and
+// scratch keep their peak capacity, so after warm-up an epoch cycle
+// performs no heap allocation.
 
 #ifndef AEGAEON_SIM_MAILBOX_H_
 #define AEGAEON_SIM_MAILBOX_H_
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "mem/bump_allocator.h"
 #include "sim/time.h"
 
 namespace aegaeon {
@@ -35,11 +43,19 @@ template <typename Payload>
 class EpochMailboxes {
  public:
   using Event = CrossShardEvent<Payload>;
+  using Box = std::vector<Event, ArenaAllocator<Event>>;
 
   // One mailbox per shard plus one for the barrier-stage dispatcher, which
   // acts as its own (serial) source of cross-shard events.
-  explicit EpochMailboxes(int shards)
-      : pending_(static_cast<size_t>(shards) + 1), next_seq_(static_cast<size_t>(shards) + 1, 0) {}
+  explicit EpochMailboxes(int shards) : next_seq_(static_cast<size_t>(shards) + 1, 0) {
+    const size_t sources = static_cast<size_t>(shards) + 1;
+    arenas_.reserve(sources);
+    pending_.reserve(sources);
+    for (size_t i = 0; i < sources; ++i) {
+      arenas_.push_back(std::make_unique<BumpArena>());
+      pending_.emplace_back(ArenaAllocator<Event>(arenas_.back().get()));
+    }
+  }
 
   // The source id of the serial barrier stage.
   uint32_t Dispatcher() const { return static_cast<uint32_t>(pending_.size() - 1); }
@@ -57,16 +73,19 @@ class EpochMailboxes {
     pending_[source_shard].push_back(std::move(event));
   }
 
-  // Drains every pending event in (time, source shard, seq) order. Barrier
-  // stage only: all shards must be quiescent.
-  std::vector<Event> Collect() {
-    std::vector<Event> all;
-    for (std::vector<Event>& box : pending_) {
-      all.insert(all.end(), std::make_move_iterator(box.begin()),
+  // Drains every pending event into `out` (cleared first) in (time, source
+  // shard, seq) order. Barrier stage only: all shards must be quiescent.
+  // `out` keeps its capacity, so a reused scratch vector makes collection
+  // allocation-free in steady state.
+  template <typename OutAlloc>
+  void CollectInto(std::vector<Event, OutAlloc>& out) {
+    out.clear();
+    for (Box& box : pending_) {
+      out.insert(out.end(), std::make_move_iterator(box.begin()),
                  std::make_move_iterator(box.end()));
       box.clear();
     }
-    std::sort(all.begin(), all.end(), [](const Event& a, const Event& b) {
+    std::sort(out.begin(), out.end(), [](const Event& a, const Event& b) {
       if (a.time != b.time) {
         return a.time < b.time;
       }
@@ -75,11 +94,17 @@ class EpochMailboxes {
       }
       return a.seq < b.seq;
     });
+  }
+
+  // Convenience form returning a fresh vector (tests; not the hot path).
+  std::vector<Event> Collect() {
+    std::vector<Event> all;
+    CollectInto(all);
     return all;
   }
 
   bool empty() const {
-    for (const std::vector<Event>& box : pending_) {
+    for (const Box& box : pending_) {
       if (!box.empty()) {
         return false;
       }
@@ -87,8 +112,15 @@ class EpochMailboxes {
     return true;
   }
 
+  // Arena behind `source`'s box (introspection for tests/benches).
+  const BumpArena& arena(uint32_t source) const { return *arenas_[source]; }
+
  private:
-  std::vector<std::vector<Event>> pending_;  // indexed by source
+  // Box storage grows from per-source arenas; outgrown buffers are retained
+  // by the arena and the boxes keep their peak capacity, so steady-state
+  // posting never reaches malloc.
+  std::vector<std::unique_ptr<BumpArena>> arenas_;
+  std::vector<Box> pending_;  // indexed by source
   std::vector<uint64_t> next_seq_;
 };
 

@@ -27,10 +27,14 @@ EventId Simulator::After(Duration delay, EventQueue::Callback cb) {
 }
 
 void Simulator::ScheduleBatch(std::vector<EventQueue::Pending> batch) {
-  for (EventQueue::Pending& event : batch) {
-    event.when = std::max(event.when, now_);
+  ScheduleBatch(batch.data(), batch.size());
+}
+
+void Simulator::ScheduleBatch(EventQueue::Pending* batch, size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    batch[i].when = std::max(batch[i].when, now_);
   }
-  queue_.Merge(std::move(batch));
+  queue_.Merge(batch, count);
 }
 
 uint64_t Simulator::Run() {

@@ -20,6 +20,17 @@ namespace aegaeon {
 struct SimPerfCounters {
   uint64_t events_processed = 0;
   double wall_seconds = 0.0;
+  // --- Conservative-sync epoch loop (sharded execution only; zero for
+  // plain runs). ---
+  // Lookahead grid slots the epoch loop jumped without a barrier (dead
+  // slots snapped over plus slots batched into a wider epoch). A global
+  // property of the loop: ShardedSim records it on shard 0's entry so that
+  // summing shard entries yields the loop total exactly once.
+  uint64_t epochs_skipped = 0;
+  // Epochs in which this shard had no runnable work and was not submitted.
+  uint64_t idle_shard_skips = 0;
+  // Host time this shard's worker spent waiting at the epoch barrier.
+  double barrier_wait_seconds = 0.0;
 
   double EventsPerSec() const {
     return wall_seconds > 0.0 ? static_cast<double>(events_processed) / wall_seconds : 0.0;
@@ -28,6 +39,9 @@ struct SimPerfCounters {
   SimPerfCounters& operator+=(const SimPerfCounters& other) {
     events_processed += other.events_processed;
     wall_seconds += other.wall_seconds;
+    epochs_skipped += other.epochs_skipped;
+    idle_shard_skips += other.idle_shard_skips;
+    barrier_wait_seconds += other.barrier_wait_seconds;
     return *this;
   }
 };
@@ -54,6 +68,16 @@ class Simulator {
   // thousands of arrivals one heap sift at a time would dominate the
   // barrier stage.
   void ScheduleBatch(std::vector<EventQueue::Pending> batch);
+
+  // Range form: consumes the callbacks but leaves the storage with the
+  // caller (see EventQueue::Merge), so injection scratch keeps its capacity.
+  void ScheduleBatch(EventQueue::Pending* batch, size_t count);
+
+  // Time of the earliest pending event; kTimeNever when the queue is empty.
+  // The sharded fleet's barrier stage uses this to pick the next horizon
+  // and to skip idle cells. Non-const: reading the front may reclaim
+  // cancelled tombstones.
+  TimePoint NextEventTime() { return queue_.NextTime(); }
 
   bool Cancel(EventId id) { return queue_.Cancel(id); }
 

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
 
 #include "core/cluster.h"
@@ -85,6 +86,35 @@ TEST(MailboxTest, CollectOrdersByTimeSourceSeq) {
   EXPECT_EQ(boxes.Collect().size(), 1u);
 }
 
+// The zero-steady-state-allocation contract: boxes grow from per-source
+// arenas and a reused CollectInto scratch keeps its capacity, so post/
+// collect cycles stop allocating once warmed up.
+TEST(MailboxTest, CollectIntoReusesScratchAndArenas) {
+  EpochMailboxes<int> boxes(2);
+  std::vector<CrossShardEvent<int>> scratch;
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    for (int i = 0; i < 100; ++i) {
+      boxes.Post(static_cast<uint32_t>(i % 2), i % 3, static_cast<double>(i), i);
+    }
+    boxes.CollectInto(scratch);
+    ASSERT_EQ(scratch.size(), 100u);
+    EXPECT_TRUE(boxes.empty());
+  }
+  const size_t warm_capacity = scratch.capacity();
+  const uint64_t warm_chunks = boxes.arena(0).chunk_allocs();
+  EXPECT_GT(warm_chunks, 0u);
+  for (int cycle = 0; cycle < 16; ++cycle) {
+    for (int i = 0; i < 100; ++i) {
+      boxes.Post(static_cast<uint32_t>(i % 2), i % 3, static_cast<double>(i), i);
+    }
+    boxes.CollectInto(scratch);
+    EXPECT_EQ(scratch[0].seq, static_cast<uint64_t>(cycle + 4) * 50);
+  }
+  // Steady state: no new arena chunks, no scratch regrowth.
+  EXPECT_EQ(boxes.arena(0).chunk_allocs(), warm_chunks);
+  EXPECT_EQ(scratch.capacity(), warm_capacity);
+}
+
 TEST(ConservativeLookaheadTest, MinOfEnabledChannels) {
   CrossShardChannels none;
   EXPECT_EQ(ConservativeLookahead(none), kTimeNever);
@@ -109,8 +139,14 @@ TEST(ShardedSimTest, EpochLoopRunsPlanAndAdvance) {
   uint64_t epochs = sharded.Run(
       [&] {
         ++planned;
-        return planned < 3 ? planned * 10.0 : kTimeNever;
+        ShardedSim::EpochPlan plan;  // defaults to the final drain epoch
+        if (planned < 3) {
+          plan.horizon = planned * 10.0;
+          plan.slots_skipped = 2;
+        }
+        return plan;
       },
+      /*has_work=*/{},
       [&](int shard, TimePoint horizon) {
         (void)horizon;
         advances[static_cast<size_t>(shard)]++;
@@ -118,6 +154,7 @@ TEST(ShardedSimTest, EpochLoopRunsPlanAndAdvance) {
       });
   EXPECT_EQ(epochs, 3u);
   EXPECT_EQ(sharded.epochs(), 3u);
+  EXPECT_EQ(sharded.epochs_skipped(), 4u);  // two planned epochs, 2 slots each
   for (int count : advances) {
     EXPECT_EQ(count, 3);
   }
@@ -125,6 +162,80 @@ TEST(ShardedSimTest, EpochLoopRunsPlanAndAdvance) {
   for (const SimPerfCounters& perf : sharded.shard_perf()) {
     EXPECT_EQ(perf.events_processed, 15u);
   }
+  // The global skip count is stamped on shard 0 only, so summing shard
+  // entries counts it exactly once.
+  EXPECT_EQ(sharded.shard_perf()[0].epochs_skipped, 4u);
+  EXPECT_EQ(sharded.shard_perf()[1].epochs_skipped, 0u);
+}
+
+TEST(ShardedSimTest, IdleShardsAreNotSubmitted) {
+  ShardedSim sharded(4, 2);
+  int planned = 0;
+  std::vector<int> advances(4, 0);
+  sharded.Run(
+      [&] {
+        ++planned;
+        ShardedSim::EpochPlan plan;
+        if (planned < 4) {
+          plan.horizon = planned * 10.0;
+        }
+        return plan;
+      },
+      // Odd shards idle for the finite epochs; everyone runs the drain.
+      [&](int shard, TimePoint horizon) { return horizon >= kTimeNever || shard % 2 == 0; },
+      [&](int shard, TimePoint horizon) {
+        (void)horizon;
+        advances[static_cast<size_t>(shard)]++;
+        return uint64_t{1};
+      });
+  EXPECT_EQ(advances[0], 4);
+  EXPECT_EQ(advances[1], 1);
+  EXPECT_EQ(advances[2], 4);
+  EXPECT_EQ(advances[3], 1);
+  EXPECT_EQ(sharded.shard_perf()[0].idle_shard_skips, 0u);
+  EXPECT_EQ(sharded.shard_perf()[1].idle_shard_skips, 3u);
+  EXPECT_EQ(sharded.shard_perf()[3].idle_shard_skips, 3u);
+}
+
+TEST(ShardGangTest, RunsEverySliceEveryRound) {
+  ShardGang gang(8, 4);
+  EXPECT_EQ(gang.slices(), 8);
+  EXPECT_EQ(gang.thread_count(), 4);
+  std::vector<int> counts(8, 0);
+  for (int round = 0; round < 50; ++round) {
+    gang.Run([&](int slice) { counts[static_cast<size_t>(slice)]++; });
+  }
+  for (int count : counts) {
+    EXPECT_EQ(count, 50);
+  }
+}
+
+TEST(ShardGangTest, MaskSelectsSlices) {
+  ShardGang gang(6, 3);
+  std::vector<int> counts(6, 0);
+  const std::vector<uint8_t> mask = {1, 0, 1, 0, 0, 1};
+  for (int round = 0; round < 10; ++round) {
+    gang.Run([&](int slice) { counts[static_cast<size_t>(slice)]++; }, &mask);
+  }
+  const std::vector<int> want = {10, 0, 10, 0, 0, 10};
+  for (size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_EQ(counts[i], want[i]) << "slice " << i;
+  }
+}
+
+TEST(ShardGangTest, SingleWorkerRunsInlineAndClampsThreads) {
+  // threads > slices clamps to slices; one slice means one (inline) worker.
+  ShardGang wide(2, 16);
+  EXPECT_EQ(wide.thread_count(), 2);
+  ShardGang gang(1, 8);
+  EXPECT_EQ(gang.thread_count(), 1);
+  int runs = 0;
+  gang.Run([&](int slice) {
+    EXPECT_EQ(slice, 0);
+    ++runs;
+  });
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(gang.worker_wait_seconds(0), 0.0);  // inline rounds never wait
 }
 
 // The golden equivalence: one cell, zero dispatch latency => the fleet is
@@ -160,32 +271,77 @@ TEST(ShardedFleetTest, SingleCellReproducesSerialClusterExactly) {
 
 // The tentpole determinism contract: for a fixed cell decomposition the
 // shard count is parallelism only — RunMetrics are bit-identical for
-// shards in {1, 2, 4, 8}.
-TEST(ShardedFleetTest, ResultsBitIdenticalAcrossShardCounts) {
+// shards in {1, 2, 4, 8}, with epoch skipping on (default) AND off.
+void ExpectShardCountInvariant(bool epoch_skipping) {
   ModelRegistry registry = ModelRegistry::MidSizeMarket(12);
   auto trace = FleetTrace(registry, 1.0, 90.0, 11);
 
   std::vector<RunMetrics> results;
   std::vector<uint64_t> epoch_counts;
+  std::vector<uint64_t> skip_counts;
   for (int shards : {1, 2, 4, 8}) {
     FleetConfig config;
     config.cells = 8;
     config.shards = shards;
     config.threads = 4;
+    config.epoch_skipping = epoch_skipping;
     config.cell = SmallCell();
     ShardedFleet fleet(config, registry, GpuSpec::H800());
     results.push_back(fleet.Run(trace));
     epoch_counts.push_back(fleet.epochs());
+    skip_counts.push_back(fleet.epochs_skipped());
     EXPECT_EQ(fleet.shards(), shards);
     EXPECT_EQ(static_cast<int>(results.back().shard_sim.size()), shards);
   }
   for (size_t i = 1; i < results.size(); ++i) {
     ExpectBitIdentical(results[0], results[i]);
     EXPECT_EQ(results[0].sync_epochs, results[i].sync_epochs);
+    EXPECT_EQ(results[0].sync_epochs_skipped, results[i].sync_epochs_skipped);
     EXPECT_EQ(epoch_counts[0], epoch_counts[i]);
+    EXPECT_EQ(skip_counts[0], skip_counts[i]);
   }
   EXPECT_GT(results[0].completed_requests, 50u);
   EXPECT_GT(results[0].sync_epochs, 1u);
+}
+
+TEST(ShardedFleetTest, ResultsBitIdenticalAcrossShardCounts) {
+  ExpectShardCountInvariant(/*epoch_skipping=*/true);
+}
+
+TEST(ShardedFleetTest, ResultsBitIdenticalAcrossShardCountsWithSkippingOff) {
+  ExpectShardCountInvariant(/*epoch_skipping=*/false);
+}
+
+// The tentpole win: on a dense trace (every lookahead slot occupied), the
+// quantum-batched barrier executes at least 2x fewer epochs than the
+// one-slot-per-barrier protocol, and reports what it skipped.
+TEST(ShardedFleetTest, EpochSkippingHalvesEpochCountOnDenseTraces) {
+  ModelRegistry registry = ModelRegistry::MidSizeMarket(12);
+  auto trace = FleetTrace(registry, 20.0, 45.0, 17);
+
+  uint64_t epochs_by_mode[2] = {0, 0};
+  for (const bool skipping : {false, true}) {
+    FleetConfig config;
+    config.cells = 8;
+    config.shards = 4;
+    config.threads = 2;
+    config.epoch_skipping = skipping;
+    config.cell = SmallCell();
+    ShardedFleet fleet(config, registry, GpuSpec::H800());
+    RunMetrics metrics = fleet.Run(trace);
+    epochs_by_mode[skipping ? 1 : 0] = fleet.epochs();
+    EXPECT_EQ(metrics.total_requests, trace.size());
+    // Both modes report what they snap past (the off mode still fast-
+    // forwards dead arrival slots, as the pre-skip protocol always did);
+    // the quantum batching makes the on mode skip strictly more.
+    EXPECT_EQ(metrics.sync_epochs_skipped, fleet.epochs_skipped());
+    if (skipping) {
+      EXPECT_GT(metrics.sync_epochs_skipped, 0u);
+    }
+    EXPECT_EQ(fleet.audit().sync_overruns, 0u);
+  }
+  EXPECT_GE(epochs_by_mode[0], 2 * epochs_by_mode[1])
+      << "skipping on: " << epochs_by_mode[1] << " epochs, off: " << epochs_by_mode[0];
 }
 
 TEST(ShardedFleetTest, DispatcherBalancesLoadAcrossCells) {

@@ -63,6 +63,72 @@ TEST(EventQueueTest, NextTimeReportsEarliest) {
   EXPECT_DOUBLE_EQ(queue.NextTime(), 2.5);
 }
 
+// Satellite coverage for the fleet's idle-skip probe: NextTime must be
+// right when the queue is empty, when the front is a tombstone, and after
+// the amortized compaction pass has rebuilt the heap.
+TEST(EventQueueTest, NextTimeSkipsTombstonesAndSurvivesCompaction) {
+  EventQueue queue;
+  EXPECT_EQ(queue.NextTime(), kTimeNever);
+  // Front-of-heap tombstones: cancelling the earliest events must expose
+  // the first live one (and reclaim the tombstones as a side effect).
+  EventId first = queue.Push(1.0, [] {});
+  EventId second = queue.Push(2.0, [] {});
+  queue.Push(3.0, [] {});
+  EXPECT_TRUE(queue.Cancel(first));
+  EXPECT_TRUE(queue.Cancel(second));
+  EXPECT_DOUBLE_EQ(queue.NextTime(), 3.0);
+  EXPECT_EQ(queue.heap_size(), 1u);  // tombstones reclaimed by the read
+  queue.PopAndRun();
+  EXPECT_EQ(queue.NextTime(), kTimeNever);
+  // Compaction path: enough mid-heap cancellations to trigger the rebuild
+  // (heap >= 64 entries, tombstones > half). The earliest survivor must
+  // still be reported afterwards.
+  std::vector<EventId> ids;
+  for (int i = 0; i < 128; ++i) {
+    ids.push_back(queue.Push(100.0 + i, [] {}));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(queue.Cancel(ids[static_cast<size_t>(i)]));
+  }
+  EXPECT_LT(queue.heap_size(), 128u);  // compaction ran
+  EXPECT_DOUBLE_EQ(queue.NextTime(), 200.0);
+  EXPECT_EQ(queue.size(), 28u);
+}
+
+TEST(EventQueueTest, MergeRangeLeavesCallerStorage) {
+  EventQueue queue;
+  queue.Push(5.0, [] {});
+  std::vector<int> fired;
+  std::vector<EventQueue::Pending> scratch;
+  scratch.push_back({1.0, EventCallback([&] { fired.push_back(1); })});
+  scratch.push_back({1.0, EventCallback([&] { fired.push_back(2); })});
+  scratch.push_back({9.0, EventCallback([&] { fired.push_back(3); })});
+  const size_t capacity = scratch.capacity();
+  queue.Merge(scratch.data(), scratch.size());
+  // The storage (and its capacity) stays with the caller for reuse; only
+  // the callbacks moved out.
+  EXPECT_EQ(scratch.size(), 3u);
+  EXPECT_EQ(scratch.capacity(), capacity);
+  EXPECT_EQ(queue.size(), 4u);
+  EXPECT_DOUBLE_EQ(queue.PopAndRun(), 1.0);
+  EXPECT_DOUBLE_EQ(queue.PopAndRun(), 1.0);
+  ASSERT_EQ(fired.size(), 2u);  // FIFO among equal timestamps
+  EXPECT_EQ(fired[0], 1);
+  EXPECT_EQ(fired[1], 2);
+}
+
+TEST(SimulatorTest, NextEventTimeTracksQueue) {
+  Simulator sim;
+  EXPECT_EQ(sim.NextEventTime(), kTimeNever);
+  EventId id = sim.At(4.0, [] {});
+  sim.At(6.0, [] {});
+  EXPECT_DOUBLE_EQ(sim.NextEventTime(), 4.0);
+  sim.Cancel(id);
+  EXPECT_DOUBLE_EQ(sim.NextEventTime(), 6.0);
+  sim.Run();
+  EXPECT_EQ(sim.NextEventTime(), kTimeNever);
+}
+
 TEST(EventQueueTest, CancelSkipsEvent) {
   EventQueue queue;
   bool fired = false;

@@ -59,6 +59,8 @@ struct Options {
   int cells = 1;
   int shards = 1;
   double dispatch_latency = 0.05;
+  bool epoch_skipping = true;
+  int route_quantum = 4;
   bool per_model = false;
   std::string json_out;
   std::string matrix_out;
@@ -88,6 +90,10 @@ void Usage() {
       "  --shards N     parallel shards for the fleet executor (default 1; results\n"
       "                 are bit-identical for any value)\n"
       "  --dispatch-latency S  fleet router -> cell hop in seconds (default 0.05)\n"
+      "  --route-quantum N     lookahead slots routed per fleet barrier (default 4;\n"
+      "                 part of the simulated config — changes router staleness)\n"
+      "  --no-epoch-skip       step the fleet barrier one lookahead at a time\n"
+      "                 (pre-skip protocol; advances every cell every epoch)\n"
       "  --per-model    print a per-model quality report\n"
       "  --json F       write headline metrics as JSON\n"
       "  --dump-workload-matrix F  write the planner's (model x input x output)\n"
@@ -177,6 +183,10 @@ bool ParseArgs(int argc, char** argv, Options& opts) {
       opts.shards = std::atoi(next("--shards"));
     } else if (arg == "--dispatch-latency") {
       opts.dispatch_latency = std::atof(next("--dispatch-latency"));
+    } else if (arg == "--route-quantum") {
+      opts.route_quantum = std::atoi(next("--route-quantum"));
+    } else if (arg == "--no-epoch-skip") {
+      opts.epoch_skipping = false;
     } else if (arg == "--per-model") {
       opts.per_model = true;
     } else if (arg == "--json") {
@@ -200,6 +210,10 @@ bool ParseArgs(int argc, char** argv, Options& opts) {
   }
   if (opts.cells > 1 && opts.dispatch_latency <= 0.0) {
     std::fprintf(stderr, "--dispatch-latency must be > 0 when --cells > 1\n");
+    return false;
+  }
+  if (opts.route_quantum < 1) {
+    std::fprintf(stderr, "--route-quantum must be >= 1\n");
     return false;
   }
   return true;
@@ -295,6 +309,8 @@ int main(int argc, char** argv) {
     config.cells = opts.cells;
     config.shards = opts.shards;
     config.dispatch_latency = opts.dispatch_latency;
+    config.epoch_skipping = opts.epoch_skipping;
+    config.route_quantum = opts.route_quantum;
     config.cell.prefill_instances = opts.prefill;
     config.cell.decode_instances = opts.decode;
     config.cell.nodes = opts.nodes;
@@ -305,9 +321,11 @@ int main(int argc, char** argv) {
     ShardedFleet fleet(config, registry, gpu);
     RunMetrics metrics = fleet.Run(trace);
     PrintMetrics(opts.system, metrics);
-    std::printf("fleet:               %d cells x %d GPUs, %d shard(s), %lu sync epochs\n",
+    std::printf("fleet:               %d cells x %d GPUs, %d shard(s), %lu sync epochs "
+                "(%lu slots skipped)\n",
                 fleet.cells(), opts.prefill + opts.decode, fleet.shards(),
-                static_cast<unsigned long>(fleet.epochs()));
+                static_cast<unsigned long>(fleet.epochs()),
+                static_cast<unsigned long>(fleet.epochs_skipped()));
     FleetAudit audit = fleet.audit();
     if (audit.checks > 0 || audit.sync_overruns > 0) {
       std::printf("fleet audit:         %lu checks, %lu violations, %lu sync overruns\n",

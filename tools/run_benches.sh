@@ -96,13 +96,19 @@ fi
 
 # --- Fleet-scale gate -------------------------------------------------------
 # Determinism is a hard invariant: results must be bit-identical across shard
-# counts on every machine. Throughput uses the same ratio normalization as
-# the queue gate (single-shard fleet eps vs an in-process 16-GPU reference),
-# and the >=3x 8-shard speedup at >=512 GPUs only applies on >=4 cores.
+# counts, repeats, and (for one cell) against a plain AegaeonCluster run on
+# every machine. Epoch skipping must keep a >=2x executed-epoch reduction on
+# the 256-GPU reference pool — both counts are deterministic, so that gate
+# is machine-independent and always on. Throughput uses the same ratio
+# normalization as the queue gate (single-shard fleet eps vs an in-process
+# 16-GPU reference); the >=1.5x 8-shard speedup at >=512 GPUs only applies
+# on >=4 cores (below that the gang runs nearly inline).
 fleet_identical=$(sed -n 's/.*"identical_results": *\(true\|false\).*/\1/p' "$FLEET_RESULT")
+fleet_single_cell=$(sed -n 's/.*"single_cell_identical": *\(true\|false\).*/\1/p' "$FLEET_RESULT")
 fleet_ratio=$(json_field "$FLEET_RESULT" fleet_ratio)
 fleet_baseline_ratio=$(json_field "$BASELINE" fleet_ratio)
 fleet_speedup=$(json_field "$FLEET_RESULT" best_large_pool_speedup)
+fleet_epoch_reduction=$(json_field "$FLEET_RESULT" epoch_reduction)
 
 echo
 echo "== Fleet-scale gate"
@@ -110,9 +116,20 @@ echo "   fleet/reference throughput ratio: current=${fleet_ratio} baseline=${fle
      "(max regression ${MAX_REGRESSION_PCT}%)"
 
 if [ "$fleet_identical" != "true" ]; then
-  echo "FAIL: sharded fleet diverged across shard counts" >&2
+  echo "FAIL: sharded fleet diverged across shard counts or repeats" >&2
   exit 1
 fi
+
+if [ "$fleet_single_cell" != "true" ]; then
+  echo "FAIL: 1-cell fleet diverged from plain AegaeonCluster::Run" >&2
+  exit 1
+fi
+
+if ! awk -v r="$fleet_epoch_reduction" 'BEGIN { exit !(r >= 2.0) }'; then
+  echo "FAIL: epoch skipping reduction ${fleet_epoch_reduction}x < 2x on the 256-GPU pool" >&2
+  exit 1
+fi
+echo "   epoch reduction at 256 GPUs: ${fleet_epoch_reduction}x (>= 2x required)"
 
 ok=$(awk -v c="$fleet_ratio" -v b="$fleet_baseline_ratio" -v m="$MAX_REGRESSION_PCT" \
   'BEGIN { print (c >= b * (1 - m / 100.0)) ? "yes" : "no" }')
@@ -122,14 +139,14 @@ if [ "$ok" != "yes" ]; then
 fi
 
 if awk -v n="$cores" 'BEGIN { exit !(n >= 4) }'; then
-  if ! awk -v s="$fleet_speedup" 'BEGIN { exit !(s >= 3.0) }'; then
-    echo "FAIL: fleet 8-shard speedup ${fleet_speedup}x < 3x at >=512 GPUs on ${cores} cores" >&2
+  if ! awk -v s="$fleet_speedup" 'BEGIN { exit !(s >= 1.5) }'; then
+    echo "FAIL: fleet 8-shard speedup ${fleet_speedup}x < 1.5x at >=512 GPUs on ${cores} cores" >&2
     exit 1
   fi
-  echo "   fleet 8-shard speedup at >=512 GPUs: ${fleet_speedup}x on ${cores} cores (>= 3x required)"
+  echo "   fleet 8-shard speedup at >=512 GPUs: ${fleet_speedup}x on ${cores} cores (>= 1.5x required)"
 else
   echo "   fleet 8-shard speedup at >=512 GPUs: ${fleet_speedup}x on ${cores} core(s)" \
-       "(3x gate requires >= 4 cores; skipped)"
+       "(1.5x gate requires >= 4 cores; skipped)"
 fi
 
 # --- Capacity-planner gate --------------------------------------------------

@@ -1,0 +1,218 @@
+// Failover benchmark: goodput through a crash-storm vs a fault-free
+// baseline on the same pool and trace. Tracks via BENCH_failover.json:
+//
+//   1. Goodput retention: the crash-storm run (dispatcher killed mid-run
+//      plus two cell-level instance failures) vs the fault-free baseline,
+//      both with a 3-replica control plane. Retention is a goodput RATIO
+//      measured in one process, so the gate in tools/run_benches.sh is
+//      machine-independent (same normalization idea as bench_sim_perf).
+//   2. Determinism through faults: the crash-storm run must be
+//      bit-identical across shard counts {1, 2, 4, 8} — election, replay,
+//      and recovery included. Divergence is a hard failure here, not just
+//      a JSON field.
+//   3. Exactly-once delivery: every request in the trace completes; the
+//      failover detour may cost latency but never loses work.
+//
+// Usage: bench_failover [output.json]   (default BENCH_failover.json)
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "core/cluster.h"
+#include "core/fleet.h"
+#include "hw/gpu_spec.h"
+#include "model/registry.h"
+#include "workload/dataset.h"
+#include "workload/generator.h"
+
+using namespace aegaeon;
+
+namespace {
+
+constexpr double kTraceHorizon = 120.0;  // seconds of simulated arrivals
+constexpr double kRpsPerModel = 0.5;
+constexpr uint64_t kSeed = 4242;
+constexpr int kCells = 8;
+constexpr int kModels = 16;
+// The storm: the leader dies mid-trace while two cells are each down one
+// instance. Crash times sit inside the arrival window so deliveries are
+// in flight when the dispatcher goes dark.
+constexpr double kDispatcherCrash = 60.0;
+constexpr double kDispatcherDowntime = 8.0;
+
+AegaeonConfig CellConfig() {
+  AegaeonConfig config;
+  config.prefill_instances = 2;
+  config.decode_instances = 2;
+  return config;
+}
+
+FleetConfig StormConfig(int shards) {
+  FleetConfig config;
+  config.cells = kCells;
+  config.shards = shards;
+  config.cell = CellConfig();
+  config.ctrl.replicas = 3;
+  return config;
+}
+
+// Everything a run produces that must be deterministic across shard
+// counts, control-plane protocol outcome included.
+struct Signature {
+  uint64_t completed = 0;
+  int64_t tokens_met = 0;
+  double horizon = 0.0;
+  uint64_t events = 0;
+  uint64_t elections = 0;
+  uint64_t redispatched = 0;
+  double leader_downtime = 0.0;
+
+  bool operator==(const Signature& other) const {
+    return completed == other.completed && tokens_met == other.tokens_met &&
+           horizon == other.horizon && events == other.events &&
+           elections == other.elections && redispatched == other.redispatched &&
+           leader_downtime == other.leader_downtime;
+  }
+};
+
+Signature Sign(const RunMetrics& metrics) {
+  Signature sig;
+  sig.completed = metrics.completed_requests;
+  sig.tokens_met = metrics.tokens_met;
+  sig.horizon = metrics.horizon;
+  sig.events = metrics.sim.events_processed;
+  sig.elections = metrics.ctrl.elections;
+  sig.redispatched = metrics.ctrl.redispatched_requests;
+  sig.leader_downtime = metrics.ctrl.leader_downtime;
+  return sig;
+}
+
+void ApplyStorm(ShardedFleet& fleet) {
+  fleet.ScheduleDispatcherCrash(kDispatcherCrash, kDispatcherDowntime);
+  fleet.ScheduleCellFailure(/*cell=*/0, /*prefill_partition=*/false, /*index=*/0,
+                            /*when=*/55.0, /*downtime=*/20.0);
+  fleet.ScheduleCellFailure(/*cell=*/2, /*prefill_partition=*/true, /*index=*/0,
+                            /*when=*/62.0, /*downtime=*/15.0);
+}
+
+bool AllRequestsComplete(const ShardedFleet& fleet, size_t trace_size) {
+  uint64_t finished = 0;
+  for (int c = 0; c < fleet.cells(); ++c) {
+    for (const Request& request : fleet.cell(c).requests()) {
+      if (!request.finished() || request.generated != request.output_tokens) {
+        return false;
+      }
+      ++finished;
+    }
+  }
+  return finished == trace_size;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_failover.json";
+
+  ModelRegistry registry = ModelRegistry::MidSizeMarket(kModels);
+  std::vector<ArrivalEvent> trace =
+      GeneratePoisson(registry, kRpsPerModel, kTraceHorizon, Dataset::ShareGpt(), kSeed);
+  std::printf("failover bench: %d cells, %zu requests, dispatcher crash at %.0fs "
+              "(+%.0fs downtime), 2 instance failures\n",
+              kCells, trace.size(), kDispatcherCrash, kDispatcherDowntime);
+
+  // Fault-free baseline (replicated control plane, no faults): the goodput
+  // the pool delivers when nothing breaks.
+  RunMetrics baseline;
+  {
+    ShardedFleet fleet(StormConfig(/*shards=*/4), registry, GpuSpec::H800());
+    baseline = fleet.Run(trace);
+    if (!AllRequestsComplete(fleet, trace.size())) {
+      std::fprintf(stderr, "FAIL: baseline run left requests unfinished\n");
+      return 1;
+    }
+  }
+  std::printf("  baseline:    goodput %.3f rps, SLO attainment %.4f\n", baseline.Goodput(),
+              baseline.SloAttainment());
+
+  // Crash-storm across shard counts: one protocol outcome, bit-identical.
+  RunMetrics storm;
+  Signature reference;
+  bool identical = true;
+  bool all_complete = true;
+  for (int shards : {1, 2, 4, 8}) {
+    ShardedFleet fleet(StormConfig(shards), registry, GpuSpec::H800());
+    ApplyStorm(fleet);
+    RunMetrics metrics = fleet.Run(trace);
+    all_complete = all_complete && AllRequestsComplete(fleet, trace.size());
+    if (shards == 1) {
+      reference = Sign(metrics);
+      storm = metrics;
+    } else if (!(Sign(metrics) == reference)) {
+      identical = false;
+    }
+  }
+  std::printf("  crash-storm: goodput %.3f rps, SLO attainment %.4f\n", storm.Goodput(),
+              storm.SloAttainment());
+  std::printf("  control plane: %llu heartbeats, %llu elections, %llu failovers, "
+              "%llu re-dispatched (%llu front door), %.2fs leaderless\n",
+              static_cast<unsigned long long>(storm.ctrl.heartbeats_sent),
+              static_cast<unsigned long long>(storm.ctrl.elections),
+              static_cast<unsigned long long>(storm.ctrl.failovers),
+              static_cast<unsigned long long>(storm.ctrl.redispatched_requests),
+              static_cast<unsigned long long>(storm.ctrl.frontdoor_replays),
+              storm.ctrl.leader_downtime);
+
+  const double retention =
+      baseline.Goodput() > 0.0 ? storm.Goodput() / baseline.Goodput() : 0.0;
+  std::printf("  goodput retention through the storm: %.3f\n", retention);
+
+  if (!identical) {
+    std::fprintf(stderr, "FAIL: crash-storm run diverged across shard counts\n");
+    return 1;
+  }
+  if (!all_complete) {
+    std::fprintf(stderr, "FAIL: a crash-storm run lost or truncated requests\n");
+    return 1;
+  }
+  if (storm.ctrl.failovers == 0 || storm.ctrl.redispatched_requests == 0) {
+    std::fprintf(stderr, "FAIL: the storm never exercised failover (crash mis-timed?)\n");
+    return 1;
+  }
+
+  FILE* out = std::fopen(out_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"failover\": {\n"
+               "    \"requests\": %zu,\n"
+               "    \"goodput_baseline_rps\": %.4f,\n"
+               "    \"goodput_storm_rps\": %.4f,\n"
+               "    \"goodput_retention\": %.4f,\n"
+               "    \"slo_attainment_baseline\": %.4f,\n"
+               "    \"slo_attainment_storm\": %.4f,\n"
+               "    \"elections\": %llu,\n"
+               "    \"failovers\": %llu,\n"
+               "    \"redispatched_requests\": %llu,\n"
+               "    \"frontdoor_replays\": %llu,\n"
+               "    \"leader_downtime_s\": %.4f,\n"
+               "    \"identical_results\": %s,\n"
+               "    \"all_requests_complete\": %s\n"
+               "  }\n"
+               "}\n",
+               trace.size(), baseline.Goodput(), storm.Goodput(), retention,
+               baseline.SloAttainment(), storm.SloAttainment(),
+               static_cast<unsigned long long>(storm.ctrl.elections),
+               static_cast<unsigned long long>(storm.ctrl.failovers),
+               static_cast<unsigned long long>(storm.ctrl.redispatched_requests),
+               static_cast<unsigned long long>(storm.ctrl.frontdoor_replays),
+               storm.ctrl.leader_downtime, identical ? "true" : "false",
+               all_complete ? "true" : "false");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}

@@ -30,6 +30,33 @@ struct LatencyBreakdown {
   LatencyBreakdown& operator+=(const LatencyBreakdown& other);
 };
 
+// Replicated-control-plane outcomes (src/ctrl). All zero when the fleet
+// runs a sole always-alive dispatcher replica with no dispatcher faults —
+// the unreplicated configuration. Unlike the host-cost counters these are
+// simulated results: deterministic, bit-identical across shard and worker
+// counts.
+struct CtrlStats {
+  uint64_t heartbeats_sent = 0;    // heartbeat messages leaders emitted
+  uint64_t heartbeats_missed = 0;  // heartbeats that reached a crashed replica
+  uint64_t elections = 0;          // campaigns started (including retries)
+  uint64_t failovers = 0;          // leadership changes after boot
+  // In-flight arrivals lost with a dead leader and replayed by its
+  // successor (each exactly once).
+  uint64_t redispatched_requests = 0;
+  // Replayed entries absent from the successor's shadow log (routed within
+  // one replication hop of the crash): recovered via front-door retry.
+  uint64_t frontdoor_replays = 0;
+  // High-water mark of the re-dispatch log plus the front-door queue.
+  uint64_t max_log_depth = 0;
+  Duration leader_downtime = 0.0;  // simulated seconds with no live leader
+
+  bool Any() const {
+    return heartbeats_sent != 0 || heartbeats_missed != 0 || elections != 0 ||
+           failovers != 0 || redispatched_requests != 0 || frontdoor_replays != 0 ||
+           leader_downtime > 0.0;
+  }
+};
+
 struct RunMetrics {
   uint64_t total_requests = 0;
   uint64_t completed_requests = 0;
@@ -78,6 +105,10 @@ struct RunMetrics {
   // slots snapped over + slots batched under route_quantum). Deterministic,
   // like sync_epochs.
   uint64_t sync_epochs_skipped = 0;
+
+  // Control-plane replication outcomes; fleet-level like shard_sim (left
+  // untouched by MergeFrom), but simulated and deterministic.
+  CtrlStats ctrl;
 
   // Folds another run's simulated results into this one (cell -> fleet
   // aggregation): sums the counters, concatenates the samples, keeps the

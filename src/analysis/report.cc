@@ -156,6 +156,20 @@ void WriteMetricsJson(std::ostream& os, const RunMetrics& metrics) {
   if (metrics.retry_attempts > 0) {
     os << "\"retry_attempts\":" << metrics.retry_attempts << ",";
   }
+  // Control-plane replication block only when anything happened (same
+  // convention: unreplicated runs keep their original key set). These are
+  // simulated, deterministic counters — safe to diff across runs.
+  if (metrics.ctrl.Any()) {
+    os << "\"ctrl\":{"
+       << "\"heartbeats_sent\":" << metrics.ctrl.heartbeats_sent << ","
+       << "\"heartbeats_missed\":" << metrics.ctrl.heartbeats_missed << ","
+       << "\"elections\":" << metrics.ctrl.elections << ","
+       << "\"failovers\":" << metrics.ctrl.failovers << ","
+       << "\"redispatched_requests\":" << metrics.ctrl.redispatched_requests << ","
+       << "\"frontdoor_replays\":" << metrics.ctrl.frontdoor_replays << ","
+       << "\"max_log_depth\":" << metrics.ctrl.max_log_depth << ","
+       << "\"leader_downtime\":" << metrics.ctrl.leader_downtime << "},";
+  }
   // Cost keys only when the pool has a rental rate (same convention as the
   // proxy counters: cost-less runs keep their original key set).
   if (metrics.pool_cost_per_hour > 0.0) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <limits>
 #include <utility>
 
@@ -24,6 +26,7 @@ AegaeonCluster::AegaeonCluster(AegaeonConfig config, const ModelRegistry& regist
   const int instances = config_.prefill_instances + config_.decode_instances;
   const int nodes = std::max(1, std::min(config_.nodes, instances));
   config_.nodes = nodes;
+  aging_ = config_.aging;
 
   // Balanced contiguous instance-to-node assignment.
   std::vector<int> node_of_instance(instances);
@@ -154,12 +157,62 @@ ShapeClassId AegaeonCluster::ShapeFor(const UnifiedKvCache& cache, ModelId model
 
 void AegaeonCluster::ScheduleFailure(bool prefill_partition, int index, TimePoint when,
                                      Duration downtime) {
+  // Validate at schedule time: plans are matched by index when they fire,
+  // so an out-of-range index used to be accepted here and then silently
+  // hit nothing (or stray memory) mid-run. Fail fast instead.
+  const int limit = prefill_partition ? config_.prefill_instances : config_.decode_instances;
+  if (index < 0 || index >= limit || !(when >= 0.0) || !(downtime > 0.0)) {
+    std::fprintf(stderr,
+                 "AegaeonCluster::ScheduleFailure: invalid plan — %s instance %d (pool has "
+                 "%d), when=%g, downtime=%g\n",
+                 prefill_partition ? "prefill" : "decode", index, limit, when, downtime);
+    std::abort();
+  }
   FailurePlan plan;
   plan.prefill_partition = prefill_partition;
   plan.index = index;
   plan.when = when;
   plan.downtime = downtime;
   failure_plans_.push_back(plan);
+}
+
+void AegaeonCluster::ScheduleLinkDegradation(TimePoint when, Duration duration,
+                                             double bandwidth_factor) {
+  if (!(when >= 0.0) || !(duration > 0.0) || !(bandwidth_factor > 0.0) ||
+      bandwidth_factor > 1.0) {
+    std::fprintf(stderr,
+                 "AegaeonCluster::ScheduleLinkDegradation: invalid plan — when=%g, "
+                 "duration=%g, factor=%g (want when >= 0, duration > 0, 0 < factor <= 1)\n",
+                 when, duration, bandwidth_factor);
+    std::abort();
+  }
+  LinkDegradationPlan plan;
+  plan.when = when;
+  plan.duration = duration;
+  plan.bandwidth_factor = bandwidth_factor;
+  link_plans_.push_back(plan);
+}
+
+void AegaeonCluster::SetLinkHealth(double fraction) {
+  for (NodeState& state : node_states_) {
+    for (int i = 0; i < state.hw->gpu_count(); ++i) {
+      state.hw->gpu(i).link().set_health(fraction);
+    }
+  }
+}
+
+double AegaeonCluster::AgingLatencyFactor(TimePoint now) const {
+  if (aging_.latency_rate <= 0.0 || now <= aging_.start) {
+    return 1.0;
+  }
+  return 1.0 + aging_.latency_rate * (now - aging_.start);
+}
+
+double AegaeonCluster::AgingKvFactor(TimePoint now) const {
+  if (aging_.fragmentation_rate <= 0.0 || now <= aging_.start) {
+    return 1.0;
+  }
+  return 1.0 + aging_.fragmentation_rate * (now - aging_.start);
 }
 
 void AegaeonCluster::MakeProxy() {
@@ -232,9 +285,24 @@ void AegaeonCluster::BeginRun() {
       }
     });
   }
+  for (const LinkDegradationPlan& plan : link_plans_) {
+    sim_.At(plan.when, [this, plan] { SetLinkHealth(plan.bandwidth_factor); });
+    sim_.At(plan.when + plan.duration, [this] { SetLinkHealth(1.0); });
+  }
 }
 
 void AegaeonCluster::InjectArrivals(const ArrivalEvent* events, size_t count, Duration delay) {
+  std::vector<TimePoint>& times = inject_times_scratch_;
+  times.clear();
+  times.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    times.push_back(events[i].time + delay);
+  }
+  InjectArrivals(events, times.data(), count);
+}
+
+void AegaeonCluster::InjectArrivals(const ArrivalEvent* events, const TimePoint* deliver_at,
+                                    size_t count) {
   std::vector<EventQueue::Pending>& batch = inject_scratch_;
   batch.clear();
   batch.reserve(count);
@@ -245,14 +313,15 @@ void AegaeonCluster::InjectArrivals(const ArrivalEvent* events, size_t count, Du
     request.model = event.model;
     request.prompt_tokens = event.prompt_tokens;
     request.output_tokens = std::max<int64_t>(1, event.output_tokens);
-    // Arrival stays the client-observed time: the dispatch delay surfaces as
-    // prefill wait / TTFT, not as a shifted arrival.
+    // Arrival stays the client-observed time: dispatch delay — and, after
+    // a dispatcher failover, the whole replay detour — surfaces as prefill
+    // wait / TTFT, not as a shifted arrival.
     request.arrival = event.time;
     request.priority = event.priority;
     requests_.push_back(request);
     Request* r = &requests_.back();
     EventQueue::Pending pending;
-    pending.when = event.time + delay;
+    pending.when = deliver_at[i];
     if (proxy_ != nullptr) {
       pending.cb = [this, r] { proxy_->OnArrival(r); };
     } else {
@@ -518,7 +587,9 @@ void AegaeonCluster::TryStartPrefill(int unit_index) {
   // Attention in this chunk spans the already-prefilled prefix too.
   double sq_sum = static_cast<double>(chunk) *
                   static_cast<double>(request->prefilled_tokens + chunk);
-  Duration exec = latency_.Prefill(dm.spec, dm.tp, chunk, sq_sum);
+  // Software aging inflates execution latency; the factor is exactly 1.0
+  // (a bitwise no-op) without drift.
+  Duration exec = latency_.Prefill(dm.spec, dm.tp, chunk, sq_sum) * AgingLatencyFactor(ready);
   StreamSim::Span span = unit.gpu->compute_stream().Enqueue(ready, exec);
   if (request->prefilled_tokens == 0) {
     request->prefill_start = span.start;
@@ -660,7 +731,8 @@ bool AegaeonCluster::TryAssignDecode(Request* request) {
   const int max_batch = MaxBatchForModel(request->model);
   const double expected = ExpectedKvBytes(request->model);
   // Keep a small headroom: actual context lengths overshoot the estimate.
-  const double budget = 0.9 * config_.gpu_kv_bytes;
+  // Software-aging fragmentation shrinks the usable pool over time.
+  const double budget = 0.9 * config_.gpu_kv_bytes / AgingKvFactor(sim_.Now());
 
   std::vector<size_t> sizes(decode_units_.size());
   std::vector<bool> has_model(decode_units_.size(), false);
@@ -862,7 +934,8 @@ void AegaeonCluster::StartRound(DecodeUnit& unit) {
   for (const DecodeBatch& batch : unit.work_list) {
     const DeployedModel& dm = registry_.Get(batch.model);
     BatchQuotaInput input;
-    input.step_time = latency_.DecodeStep(dm.spec, dm.tp, batch.TotalContextTokens());
+    input.step_time = latency_.DecodeStep(dm.spec, dm.tp, batch.TotalContextTokens()) *
+                      AgingLatencyFactor(sim_.Now());
     input.tbt = dm.slo.tbt;
     inputs.push_back(input);
     if (batch.model != last_model) {
@@ -957,7 +1030,7 @@ void AegaeonCluster::RunTurn(DecodeUnit& unit) {
     total_ctx += r->context_tokens();
     max_remaining = std::max(max_remaining, r->remaining_tokens());
   }
-  Duration step_time = latency_.DecodeStep(dm.spec, dm.tp, total_ctx);
+  Duration step_time = latency_.DecodeStep(dm.spec, dm.tp, total_ctx) * AgingLatencyFactor(now);
   Duration quota = unit.turn < unit.quotas.size() ? unit.quotas[unit.turn] : config_.qmax;
   int64_t steps = std::max<int64_t>(1, static_cast<int64_t>(quota / step_time));
   steps = std::min(steps, max_remaining);

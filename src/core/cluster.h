@@ -54,6 +54,13 @@ class AegaeonCluster {
   // Requests live in a deque, so pointers captured by scheduled events stay
   // valid across later injections.
   void InjectArrivals(const ArrivalEvent* events, size_t count, Duration delay);
+  // Per-event injection-time form: event i reaches the cluster at
+  // `deliver_at[i]` (>= the cluster clock). The replicated control plane
+  // uses this for failover replays, whose delivery time is the replay
+  // instant plus the dispatch hop — not the original arrival plus the hop.
+  // `Request::arrival` stays the client-observed event time either way, so
+  // failover delay surfaces as prefill wait / TTFT.
+  void InjectArrivals(const ArrivalEvent* events, const TimePoint* deliver_at, size_t count);
   // Processes every event with timestamp <= horizon, then pins the clock to
   // the horizon. Returns the number of events processed.
   uint64_t AdvanceUntil(TimePoint horizon);
@@ -84,8 +91,23 @@ class AegaeonCluster {
   // healthy instances. On a decode failure, device-resident KV is lost:
   // affected requests re-enter the prefill phase to *recompute* their KV
   // (already-delivered tokens stay delivered), while host-resident (parked)
-  // requests simply re-dispatch. Call before Run().
+  // requests simply re-dispatch. Call before Run(). The plan is validated
+  // here, at schedule time: an out-of-range instance index (or a
+  // non-positive downtime / negative fire time) aborts immediately instead
+  // of silently matching nothing at dispatch time.
   void ScheduleFailure(bool prefill_partition, int index, TimePoint when, Duration downtime);
+
+  // Degrades every PCIe transfer link of this cell to `bandwidth_factor`
+  // (0 < factor <= 1) of its healthy bandwidth during [when, when +
+  // duration): swap-in/swap-out and model loads slow down, decode rounds
+  // stall on KV sync. Windows do not stack; the last writer wins while
+  // they overlap and health is restored to exactly 1.0 afterwards. Call
+  // before Run().
+  void ScheduleLinkDegradation(TimePoint when, Duration duration, double bandwidth_factor);
+
+  // Overrides this cell's software-aging drift (config.aging). The fleet's
+  // fault engine uses it for per-cell drift. Call before Run().
+  void SetAgingDrift(const AgingDriftConfig& aging) { aging_ = aging; }
 
   // --- Introspection (tests and benches) --------------------------------
   const std::deque<Request>& requests() const { return requests_; }
@@ -176,6 +198,12 @@ class AegaeonCluster {
     Duration downtime = 10.0;
   };
 
+  struct LinkDegradationPlan {
+    TimePoint when = 0.0;
+    Duration duration = 0.0;
+    double bandwidth_factor = 1.0;
+  };
+
   // Arrival/prefill path.
   void OnArrival(Request* request);
   void TryStartPrefill(int unit_index);
@@ -235,6 +263,13 @@ class AegaeonCluster {
   void FailDecodeUnit(int index, Duration downtime);
   void RecoverPrefillUnit(int index);
   void RecoverDecodeUnit(int index);
+  // Sets every GPU link's health fraction (link-degradation windows).
+  void SetLinkHealth(double fraction);
+  // Software-aging multipliers at `now`; exactly 1.0 (a bitwise no-op on
+  // every computation they scale) while the corresponding rate is zero or
+  // the drift has not started.
+  double AgingLatencyFactor(TimePoint now) const;
+  double AgingKvFactor(TimePoint now) const;
   std::unique_ptr<UnifiedKvCache> MakeGpuKvCache(int gpu_id);
   std::unique_ptr<AutoScaler> MakeScaler(GpuDevice& gpu, int node);
 
@@ -247,12 +282,15 @@ class AegaeonCluster {
   std::deque<Request*> decode_overflow_;
 
   std::vector<FailurePlan> failure_plans_;
+  std::vector<LinkDegradationPlan> link_plans_;
+  AgingDriftConfig aging_;
   // Deque: InjectArrivals appends incrementally while scheduled events hold
   // pointers to earlier elements, so reallocation is not an option.
   std::deque<Request> requests_;
   // Reused by InjectArrivals (capacity retained), so per-epoch injection
   // under the sharded fleet does no steady-state heap allocation.
   std::vector<EventQueue::Pending> inject_scratch_;
+  std::vector<TimePoint> inject_times_scratch_;
   uint64_t completed_count_ = 0;
   TimelineRecorder* timeline_ = nullptr;
 };

@@ -11,6 +11,20 @@
 
 namespace aegaeon {
 
+// Software-aging drift (see "Characterizing Software Aging in GPU-Based
+// LLM Serving"): long-running serving processes slow down (allocator and
+// driver-state latency creep) and fragment their KV pools. Modeled as
+// multiplicative factors growing linearly from `start`: execution latency
+// scales by (1 + latency_rate * dt) and the usable decode KV budget
+// shrinks by (1 + fragmentation_rate * dt), dt = max(0, now - start).
+// Both rates default to 0, which leaves every computation bit-identical
+// to an aging-free run.
+struct AgingDriftConfig {
+  double latency_rate = 0.0;        // fractional latency growth / sim second
+  double fragmentation_rate = 0.0;  // fractional usable-KV shrink / sim second
+  TimePoint start = 0.0;            // drift onset (process "boot" time)
+};
+
 struct AegaeonConfig {
   // GPU pool split (§7.2: 6 prefill + 10 decoding instances on 16 GPUs).
   int prefill_instances = 6;
@@ -93,6 +107,10 @@ struct AegaeonConfig {
   // fair queuing, load shedding, and failure-retry backoff. Disabled by
   // default — the arrival path is then exactly the pre-proxy one.
   ProxyPolicy proxy;
+
+  // Software-aging drift of this cell (off by default). The fleet's fault
+  // engine (ctrl/fault_plan.h) overrides this per cell via SetAgingDrift.
+  AgingDriftConfig aging;
 
   // RNG seed for any internal stochastic choices.
   uint64_t seed = 1;

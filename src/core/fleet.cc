@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 namespace aegaeon {
 
@@ -34,6 +36,7 @@ ShardedFleet::ShardedFleet(FleetConfig config, const ModelRegistry& registry,
   routed_.assign(static_cast<size_t>(cells), 0);
   pending_routed_.assign(static_cast<size_t>(cells), 0);
   delivery_batches_.reserve(static_cast<size_t>(cells));
+  delivery_time_batches_.reserve(static_cast<size_t>(cells));
   touched_cells_.reserve(static_cast<size_t>(cells));
   for (int i = 0; i < cells; ++i) {
     simsan_.push_back(std::make_unique<simsan::SimSan>());
@@ -42,7 +45,49 @@ ShardedFleet::ShardedFleet(FleetConfig config, const ModelRegistry& registry,
     simsan::ScopedInstance scope(*simsan_[static_cast<size_t>(i)]);
     cells_.push_back(std::make_unique<AegaeonCluster>(config_.cell, registry, gpu_spec));
     delivery_batches_.emplace_back(ArenaAllocator<ArrivalEvent>(&delivery_arena_));
+    delivery_time_batches_.emplace_back(ArenaAllocator<TimePoint>(&delivery_arena_));
   }
+
+  dispatcher_ = std::make_unique<LeastOutstandingDispatcher>();
+  // The control plane sees cells only through these hooks; everything it
+  // calls runs in the serial barrier stage.
+  ControlPlane::Hooks hooks;
+  hooks.route = [this](const ArrivalEvent& event) {
+    const int target = dispatcher_->Route(
+        event, [this](int c) { return CellLoad(c); }, this->cells());
+    ++pending_routed_[static_cast<size_t>(target)];
+    return target;
+  };
+  hooks.deliver = [this](const ArrivalEvent& event, int target, TimePoint deliver_at) {
+    // Committed deliveries ride the fleet mailboxes like any cross-shard
+    // event; the mailbox key's time slot is the delivery time itself.
+    mailboxes_.Post(mailboxes_.Dispatcher(), target, deliver_at, event);
+  };
+  hooks.unroute = [this](int target) { --pending_routed_[static_cast<size_t>(target)]; };
+  ctrl_ = std::make_unique<ControlPlane>(config_.ctrl, config_.dispatch_latency,
+                                         std::move(hooks));
+}
+
+void ShardedFleet::SetDispatcher(std::unique_ptr<Dispatcher> dispatcher) {
+  assert(dispatcher != nullptr);
+  dispatcher_ = std::move(dispatcher);
+}
+
+void ShardedFleet::ScheduleCellFailure(int cell, bool prefill_partition, int index,
+                                       TimePoint when, Duration downtime) {
+  if (cell < 0 || cell >= cells()) {
+    std::fprintf(stderr,
+                 "ShardedFleet::ScheduleCellFailure: cell %d outside the fleet "
+                 "(%d cells)\n",
+                 cell, cells());
+    std::abort();
+  }
+  // Instance index/time validation happens at the cell (fails fast too).
+  cells_[static_cast<size_t>(cell)]->ScheduleFailure(prefill_partition, index, when, downtime);
+}
+
+void ShardedFleet::ScheduleDispatcherCrash(TimePoint when, Duration downtime) {
+  ctrl_->ScheduleLeaderCrash(when, downtime);
 }
 
 ShardedFleet::~ShardedFleet() {
@@ -68,53 +113,46 @@ void ShardedFleet::ShardRange(int shard, int* begin, int* end) const {
   *end = *begin + base + (shard < extra ? 1 : 0);
 }
 
-int ShardedFleet::RouteArrival(const ArrivalEvent& event) {
-  (void)event;
-  // Least outstanding work, ties to the lowest cell id. Outstanding counts
-  // served, injected, and just-routed requests: pending_routed_ reflects
-  // the routing already performed at this barrier (delivery is batched at
-  // the end of the window), so a burst spreads across cells instead of
-  // piling onto one snapshot winner — the same arithmetic per-arrival
-  // delivery produced via injected_requests().
-  int best = 0;
-  uint64_t best_load = ~uint64_t{0};
-  for (int i = 0; i < cells(); ++i) {
-    const AegaeonCluster& cell = *cells_[static_cast<size_t>(i)];
-    const uint64_t load = cell.injected_requests() - cell.settled_requests() +
-                          pending_routed_[static_cast<size_t>(i)];
-    if (load < best_load) {
-      best_load = load;
-      best = i;
-    }
-  }
-  return best;
+uint64_t ShardedFleet::CellLoad(int cell) const {
+  // Outstanding counts served, injected, and routed-but-undelivered
+  // requests: pending_routed_ reflects routing already performed at this
+  // barrier (delivery is batched at the end of the window) plus anything
+  // the control plane holds in flight, so a burst spreads across cells
+  // instead of piling onto one snapshot winner — the same arithmetic
+  // per-arrival delivery would produce via injected_requests().
+  const AegaeonCluster& c = *cells_[static_cast<size_t>(cell)];
+  return c.injected_requests() - c.settled_requests() +
+         pending_routed_[static_cast<size_t>(cell)];
 }
 
 ShardedSim::EpochPlan ShardedFleet::PlanEpoch() {
   const std::vector<ArrivalEvent>& trace = *trace_;
   ShardedSim::EpochPlan plan;  // horizon = kTimeNever: final drain epoch
-  if (next_arrival_ >= trace.size()) {
-    return plan;  // nothing left to route
+  if (next_arrival_ >= trace.size() && ctrl_->Drained()) {
+    return plan;  // nothing left to route or re-dispatch
   }
   if (lookahead_ >= kTimeNever) {
-    // No cross-cell channel (single cell): route everything up front and
-    // run one exact, unbounded epoch.
+    // No cross-cell channel (single cell): route everything up front —
+    // running the control plane (and any dispatcher crash it has
+    // scheduled) to completion — and run one exact, unbounded epoch.
     while (next_arrival_ < trace.size()) {
-      const ArrivalEvent& event = trace[next_arrival_++];
-      const int target = RouteArrival(event);
-      ++pending_routed_[static_cast<size_t>(target)];
-      mailboxes_.Post(mailboxes_.Dispatcher(), target, event.time, event);
+      ctrl_->Offer(trace[next_arrival_++]);
     }
+    ctrl_->Drain();
     DeliverMailboxes();
     return plan;
   }
-  // Next observable time: the earliest unrouted arrival. Cells cannot emit
-  // cross-shard traffic today (no cell-originated channel is implemented),
-  // so cell-local events never bound the window — unless a reserved
-  // cross_cell_* channel is enabled, in which case every cell's earliest
-  // event becomes observable and router batching would leak stale state:
-  // collapse to exact one-slot windows.
-  TimePoint next_observable = trace[next_arrival_].time;
+  // Next observable time: the earliest unrouted arrival or pending
+  // control-plane effect (an in-flight delivery, or — while leaderless —
+  // the next protocol event that can elect a leader and replay). Cells
+  // cannot emit cross-shard traffic today (no cell-originated channel is
+  // implemented), so cell-local events never bound the window — unless a
+  // reserved cross_cell_* channel is enabled, in which case every cell's
+  // earliest event becomes observable and router batching would leak stale
+  // state: collapse to exact one-slot windows.
+  TimePoint next_observable =
+      next_arrival_ < trace.size() ? trace[next_arrival_].time : kTimeNever;
+  next_observable = std::min(next_observable, ctrl_->NextPendingTime());
   int quantum = config_.epoch_skipping ? std::max(config_.route_quantum, 1) : 1;
   if (config_.cross_cell_kv || config_.cross_cell_autoscale) {
     for (const std::unique_ptr<AegaeonCluster>& cell : cells_) {
@@ -124,27 +162,29 @@ ShardedSim::EpochPlan ShardedFleet::PlanEpoch() {
   }
   // Snap the window to the lookahead grid slot holding the next observable
   // time, then extend it to `quantum` slots. Grid times are a pure function
-  // of (trace, lookahead, quantum), so every shard count sees identical
-  // barriers. Slots between the previous barrier and the window start are
-  // dead — no arrival, no pending cross-cell event — and are skipped
-  // without a barrier; the batched slots past the first also save a barrier
-  // each, so both are counted as skipped.
+  // of (trace, lookahead, quantum, fault plan), so every shard count sees
+  // identical barriers. Slots between the previous barrier and the window
+  // start are dead — no arrival, no pending cross-cell event — and are
+  // skipped without a barrier; the batched slots past the first also save
+  // a barrier each, so both are counted as skipped.
   const TimePoint base = std::floor(next_observable / lookahead_) * lookahead_;
   const TimePoint horizon = base + static_cast<double>(quantum) * lookahead_;
   plan.slots_skipped =
       static_cast<uint64_t>(std::llround((horizon - barrier_) / lookahead_)) - 1;
   while (next_arrival_ < trace.size() && trace[next_arrival_].time < horizon) {
-    const ArrivalEvent& event = trace[next_arrival_++];
-    const int target = RouteArrival(event);
-    ++pending_routed_[static_cast<size_t>(target)];
-    // Routed through the mailbox like any cross-shard event: delivery time
-    // is the arrival plus the dispatch hop. With quantum == 1 that is >=
-    // the horizon (the next window observes it); with a wider window it may
-    // land inside this window — still causally safe, because delivery
-    // happens here at the barrier, before any cell advances.
-    mailboxes_.Post(mailboxes_.Dispatcher(), target, event.time + config_.dispatch_latency,
-                    event);
+    // Routing goes through the control plane: with a live leader and no
+    // imminent dispatcher crash the arrival commits immediately at
+    // event.time + dispatch_latency (the exact pre-replication delivery
+    // time — with quantum == 1 that is >= the horizon, and with a wider
+    // window it may land inside this window, still causally safe because
+    // delivery happens here at the barrier, before any cell advances).
+    // Otherwise it enters the re-dispatch pipeline.
+    ctrl_->Offer(trace[next_arrival_++]);
   }
+  // Fire every protocol event inside the window: heartbeats, scheduled
+  // dispatcher crashes (which un-route the in-flight log back into the
+  // queue), elections, and the successor's replays.
+  ctrl_->AdvanceTo(horizon);
   DeliverMailboxes();
   barrier_ = horizon;
   plan.horizon = horizon;
@@ -152,9 +192,10 @@ ShardedSim::EpochPlan ShardedFleet::PlanEpoch() {
 }
 
 void ShardedFleet::DeliverMailboxes() {
-  // Collected order is (time, source, seq) == post order here (single
-  // serial dispatcher source, time-sorted trace), so per-cell batches
-  // preserve exactly the order per-arrival delivery would have injected.
+  // Collected order is (time, source, seq) == commit order here (single
+  // serial dispatcher source, nondecreasing delivery times), so per-cell
+  // batches preserve exactly the order per-arrival delivery would have
+  // injected.
   mailboxes_.CollectInto(collected_);
   if (collected_.empty()) {
     return;
@@ -165,15 +206,21 @@ void ShardedFleet::DeliverMailboxes() {
       touched_cells_.push_back(event.target);
     }
     batch.push_back(event.payload);
+    // Inject at the committed delivery time (== the mailbox slot): normal
+    // routes land at arrival + dispatch_latency, failover replays at the
+    // successor's re-dispatch time.
+    delivery_time_batches_[static_cast<size_t>(event.target)].push_back(event.time);
   }
   for (const int target : touched_cells_) {
     ArrivalBatch& batch = delivery_batches_[static_cast<size_t>(target)];
+    TimeBatch& times = delivery_time_batches_[static_cast<size_t>(target)];
     AegaeonCluster& cell = *cells_[static_cast<size_t>(target)];
     simsan::ScopedInstance scope(*simsan_[static_cast<size_t>(target)]);
-    cell.InjectArrivals(batch.data(), batch.size(), config_.dispatch_latency);
+    cell.InjectArrivals(batch.data(), times.data(), batch.size());
     routed_[static_cast<size_t>(target)] += batch.size();
     pending_routed_[static_cast<size_t>(target)] -= batch.size();
     batch.clear();
+    times.clear();
   }
   touched_cells_.clear();
 }
@@ -203,6 +250,8 @@ RunMetrics ShardedFleet::Run(const std::vector<ArrivalEvent>& trace) {
     MutexLock lock(overrun_mu_);
     sync_overruns_ = 0;
   }
+  dispatcher_->BeginRun(cells());
+  ctrl_->Begin();
 
   sharded_.Phase([this](int shard) {
     int begin = 0, end = 0;
@@ -269,6 +318,7 @@ RunMetrics ShardedFleet::Run(const std::vector<ArrivalEvent>& trace) {
   fleet.shard_sim = sharded_.shard_perf();
   fleet.sync_epochs = sharded_.epochs();
   fleet.sync_epochs_skipped = sharded_.epochs_skipped();
+  fleet.ctrl = ctrl_->stats();
   return fleet;
 }
 

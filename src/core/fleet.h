@@ -4,10 +4,22 @@
 // Decomposition. A fleet of `cells` independent serving cells, each a full
 // AegaeonCluster (own Simulator, EventQueue, schedulers, KV machinery) of
 // `cell.prefill_instances + cell.decode_instances` instances. A serial
-// fleet dispatcher routes every arrival to the least-loaded cell; routed
-// requests reach their cell after `dispatch_latency` (the fleet router /
-// network hop). Cells never interact otherwise — KV migration and
+// fleet dispatcher routes every arrival to a cell chosen by a pluggable
+// Dispatcher policy (ctrl/dispatcher.h; default: least outstanding work);
+// routed requests reach their cell after `dispatch_latency` (the fleet
+// router / network hop). Cells never interact otherwise — KV migration and
 // autoscaling stay cell-local (the cross_cell_* flags reserve the channels).
+//
+// Control plane. Every arrival flows through a replicated ControlPlane
+// (ctrl/control_plane.h): with `ctrl.replicas` == 1 and no scheduled
+// dispatcher crash it degenerates to the bare dispatcher (bit-identical to
+// the unreplicated fleet); with replication enabled, heartbeat-driven
+// leader election and the bounded re-dispatch log make the dispatcher
+// survive scheduled crashes (ScheduleDispatcherCrash / a FaultPlan) with
+// every in-flight arrival re-dispatched exactly once. The control plane
+// runs entirely inside the serial barrier stage, and its pending effects
+// bound the epoch planner (NextPendingTime), so runs stay bit-identical
+// for every shard and worker count even through a failover.
 //
 // Parallelism. The cells are grouped into `shards` contiguous groups; a
 // shard is the unit of parallel execution, nothing more. Execution proceeds
@@ -53,6 +65,8 @@
 #include "core/config.h"
 #include "core/request.h"
 #include "core/thread_annotations.h"
+#include "ctrl/control_plane.h"
+#include "ctrl/dispatcher.h"
 #include "hw/gpu_spec.h"
 #include "mem/bump_allocator.h"
 #include "model/registry.h"
@@ -96,6 +110,9 @@ struct FleetConfig {
   // mid-window.
   bool epoch_skipping = true;
   int route_quantum = 4;
+  // Dispatcher replication (ctrl/control_plane.h). The default (1 replica,
+  // no scheduled crash) reproduces the unreplicated fleet bit for bit.
+  ControlPlaneConfig ctrl;
   // Every cell's configuration (instances per cell, memory sizing, ...).
   AegaeonConfig cell;
 };
@@ -139,23 +156,39 @@ class ShardedFleet {
   // Arrivals routed to each cell by the dispatcher, indexed by cell.
   const std::vector<uint64_t>& routed() const { return routed_; }
 
+  // Replaces the routing policy (default: LeastOutstandingDispatcher).
+  // Call before Run(); the policy must be deterministic (see Dispatcher).
+  void SetDispatcher(std::unique_ptr<Dispatcher> dispatcher);
+  // Schedules one instance of one cell to fail at `when` for `downtime`
+  // (the fleet-level form of AegaeonCluster::ScheduleFailure). Aborts on
+  // an out-of-range cell or instance. Call before Run().
+  void ScheduleCellFailure(int cell, bool prefill_partition, int index, TimePoint when,
+                           Duration downtime);
+  // Schedules the dispatcher replica leading at `when` to crash and
+  // recover `downtime` later (ctrl replication handles the failover).
+  void ScheduleDispatcherCrash(TimePoint when, Duration downtime);
+  // Dispatcher replication state (election terms, failover counters).
+  const ControlPlane& control_plane() const { return *ctrl_; }
+
   FleetAudit audit() const;
 
  private:
   using ArrivalBatch = std::vector<ArrivalEvent, ArenaAllocator<ArrivalEvent>>;
+  using TimeBatch = std::vector<TimePoint, ArenaAllocator<TimePoint>>;
 
   // Contiguous [begin, end) cell range owned by `shard`.
   void ShardRange(int shard, int* begin, int* end) const;
-  // Serial barrier stage: routes every arrival in the next epoch window,
-  // delivers the mailboxes, and returns the window's horizon (kTimeNever to
-  // request the final drain epoch) plus the slots it skipped.
+  // Serial barrier stage: offers every arrival in the next epoch window to
+  // the control plane, advances the protocol to the window's horizon,
+  // delivers the mailboxes, and returns the horizon (kTimeNever to request
+  // the final drain epoch) plus the slots it skipped.
   ShardedSim::EpochPlan PlanEpoch();
-  // Routes one arrival to the least-outstanding cell (ties: lowest id).
-  // Outstanding includes requests routed at this barrier but not yet
-  // delivered (pending_routed_).
-  int RouteArrival(const ArrivalEvent& event);
+  // Outstanding load of one cell as the dispatcher sees it: injected minus
+  // settled plus routed-but-undelivered (pending_routed_).
+  uint64_t CellLoad(int cell) const;
   // Delivers the barrier's mailbox content into the target cells, one
-  // batched InjectArrivals per touched cell.
+  // batched InjectArrivals per touched cell, each event at its own
+  // committed delivery time.
   void DeliverMailboxes();
   // True when any cell of `shard` can process an event at or before
   // `horizon` (serial barrier stage only).
@@ -168,6 +201,9 @@ class ShardedFleet {
   // One checker per cell; shadow state follows the cell, not the thread.
   std::vector<std::unique_ptr<simsan::SimSan>> simsan_;
   EpochMailboxes<ArrivalEvent> mailboxes_;
+  // Routing policy + replicated control plane (both barrier-stage only).
+  std::unique_ptr<Dispatcher> dispatcher_;
+  std::unique_ptr<ControlPlane> ctrl_;
   std::vector<uint64_t> routed_;
   std::vector<RunMetrics> cell_metrics_;
 
@@ -183,11 +219,13 @@ class ShardedFleet {
   std::vector<uint64_t> pending_routed_;
   // Barrier-stage scratch, all capacity-retaining / arena-backed so the
   // steady-state epoch loop performs no heap allocation: the collected
-  // mailbox events, one ArrivalEvent batch per cell, and the list of cells
-  // touched this epoch (in first-delivery order).
+  // mailbox events, one ArrivalEvent batch (plus its parallel delivery-time
+  // batch) per cell, and the list of cells touched this epoch (in
+  // first-delivery order).
   BumpArena delivery_arena_;
   std::vector<CrossShardEvent<ArrivalEvent>> collected_;
   std::vector<ArrivalBatch> delivery_batches_;
+  std::vector<TimeBatch> delivery_time_batches_;
   std::vector<int> touched_cells_;
 
   // Incremented from parallel advances (cold path: overruns mean the

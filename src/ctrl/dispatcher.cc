@@ -1,0 +1,28 @@
+#include "ctrl/dispatcher.h"
+
+namespace aegaeon {
+
+int LeastOutstandingDispatcher::Route(const ArrivalEvent& event, const CellLoadFn& load,
+                                      int cells) {
+  (void)event;
+  int best = 0;
+  uint64_t best_load = ~uint64_t{0};
+  for (int i = 0; i < cells; ++i) {
+    const uint64_t outstanding = load(i);
+    if (outstanding < best_load) {
+      best_load = outstanding;
+      best = i;
+    }
+  }
+  return best;
+}
+
+int RoundRobinDispatcher::Route(const ArrivalEvent& event, const CellLoadFn& load, int cells) {
+  (void)event;
+  (void)load;
+  const int target = next_;
+  next_ = (next_ + 1) % cells;
+  return target;
+}
+
+}  // namespace aegaeon

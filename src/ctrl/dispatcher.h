@@ -1,0 +1,67 @@
+// Pluggable fleet routing policy.
+//
+// The ShardedFleet's serial barrier stage routes every arrival to one cell.
+// The policy behind that choice is factored out here so the fleet can host
+// alternative dispatchers (tests inject round-robin; the default reproduces
+// the original least-outstanding router bit for bit) and so the replicated
+// control plane (ctrl/control_plane.h) can re-invoke the same policy when a
+// successor leader replays in-flight arrivals.
+//
+// A Dispatcher is pure policy: it sees a load view (outstanding requests per
+// cell, including requests routed at this barrier but not yet delivered) and
+// returns a target cell. It owns no cell state and schedules nothing, so it
+// runs only in the serial barrier stage and keeps fleet determinism intact.
+
+#ifndef AEGAEON_CTRL_DISPATCHER_H_
+#define AEGAEON_CTRL_DISPATCHER_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "core/request.h"
+
+namespace aegaeon {
+
+// Outstanding load of cell `i` as seen at the current barrier.
+using CellLoadFn = std::function<uint64_t(int cell)>;
+
+class Dispatcher {
+ public:
+  virtual ~Dispatcher() = default;
+
+  // Called once per fleet Run before any routing.
+  virtual void BeginRun(int cells) { (void)cells; }
+
+  // Picks the target cell in [0, cells) for `event`. Must be a pure
+  // function of (event, loads, internal deterministic state): no wall
+  // clock, no RNG — fleet results must stay bit-identical across shard
+  // and thread counts.
+  virtual int Route(const ArrivalEvent& event, const CellLoadFn& load, int cells) = 0;
+};
+
+// The original fleet policy: least outstanding work, ties to the lowest
+// cell id. Outstanding counts served, injected, and just-routed requests,
+// so a burst spreads across cells instead of piling onto one snapshot
+// winner.
+class LeastOutstandingDispatcher : public Dispatcher {
+ public:
+  int Route(const ArrivalEvent& event, const CellLoadFn& load, int cells) override;
+};
+
+// Ignores load entirely; used by tests to prove the fleet honors an
+// injected policy.
+class RoundRobinDispatcher : public Dispatcher {
+ public:
+  void BeginRun(int cells) override {
+    (void)cells;
+    next_ = 0;
+  }
+  int Route(const ArrivalEvent& event, const CellLoadFn& load, int cells) override;
+
+ private:
+  int next_ = 0;
+};
+
+}  // namespace aegaeon
+
+#endif  // AEGAEON_CTRL_DISPATCHER_H_

@@ -1,0 +1,234 @@
+#include "ctrl/fault_plan.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "core/cluster.h"
+#include "core/fleet.h"
+
+namespace aegaeon {
+
+namespace {
+
+void SetError(std::string* error, int row, const std::string& message) {
+  if (error != nullptr) {
+    *error = "spec " + std::to_string(row) + ": " + message;
+  }
+}
+
+// Parses "T" or "T+DT" (both strict doubles, nothing trailing).
+bool ParseTimeWindow(const std::string& text, TimePoint* when, Duration* duration,
+                     bool* has_duration) {
+  const size_t plus = text.find('+');
+  std::istringstream head(text.substr(0, plus));
+  if (!(head >> *when) || !head.eof()) {
+    return false;
+  }
+  *has_duration = plus != std::string::npos;
+  if (*has_duration) {
+    std::istringstream tail(text.substr(plus + 1));
+    if (!(tail >> *duration) || !tail.eof()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+[[noreturn]] void Fail(const char* what) {
+  std::fprintf(stderr, "FaultPlan::ApplyTo: %s\n", what);
+  std::abort();
+}
+
+}  // namespace
+
+bool FaultPlan::HasDispatcherFault() const {
+  for (const FaultSpec& spec : specs) {
+    if (spec.kind == FaultKind::kDispatcherCrash) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseFaultSpec(const std::string& text, int row, FaultPlan* plan, std::string* error) {
+  FaultSpec spec;
+  std::string body = text;
+  // Optional cell/C/ prefix (any spec kind; dispatcher faults ignore it).
+  if (body.rfind("cell/", 0) == 0) {
+    const size_t slash = body.find('/', 5);
+    if (slash == std::string::npos) {
+      SetError(error, row, "expected cell/C/<fault>");
+      return false;
+    }
+    std::istringstream cell(body.substr(5, slash - 5));
+    if (!(cell >> spec.cell) || !cell.eof() || spec.cell < 0) {
+      SetError(error, row, "bad cell index '" + body.substr(5, slash - 5) + "'");
+      return false;
+    }
+    body = body.substr(slash + 1);
+  }
+  const size_t at = body.find('@');
+  const std::string head = body.substr(0, at);
+  TimePoint when = 0.0;
+  Duration duration = 0.0;
+  bool has_duration = false;
+  if (at != std::string::npos &&
+      !ParseTimeWindow(body.substr(at + 1), &when, &duration, &has_duration)) {
+    SetError(error, row, "bad time window '" + body.substr(at + 1) + "' (want T or T+DT)");
+    return false;
+  }
+  if (when < 0.0 || (has_duration && duration <= 0.0)) {
+    SetError(error, row, "time window out of range (want T >= 0, DT > 0)");
+    return false;
+  }
+
+  if (head.rfind("prefill:", 0) == 0 || head.rfind("decode:", 0) == 0) {
+    spec.kind = FaultKind::kInstanceCrash;
+    spec.prefill_partition = head[0] == 'p';
+    const std::string index = head.substr(head.find(':') + 1);
+    std::istringstream idx(index);
+    if (!(idx >> spec.index) || !idx.eof() || spec.index < 0) {
+      SetError(error, row, "bad instance index '" + index + "'");
+      return false;
+    }
+    if (at == std::string::npos || !has_duration) {
+      SetError(error, row, "instance crash needs @T+DT");
+      return false;
+    }
+  } else if (head == "dispatcher") {
+    spec.kind = FaultKind::kDispatcherCrash;
+    if (at == std::string::npos) {
+      SetError(error, row, "dispatcher crash needs @T or @T+DT");
+      return false;
+    }
+    if (!has_duration) {
+      duration = 10.0;  // default re-bootstrap time, as for instances
+    }
+  } else if (head.rfind("link:", 0) == 0) {
+    spec.kind = FaultKind::kLinkDegradation;
+    const std::string factor = head.substr(5);
+    std::istringstream f(factor);
+    if (!(f >> spec.factor) || !f.eof() || !(spec.factor > 0.0) || spec.factor > 1.0) {
+      SetError(error, row, "bad link factor '" + factor + "' (want 0 < FACTOR <= 1)");
+      return false;
+    }
+    if (at == std::string::npos || !has_duration) {
+      SetError(error, row, "link degradation needs @T+DT");
+      return false;
+    }
+  } else if (head.rfind("aging:", 0) == 0) {
+    spec.kind = FaultKind::kAgingDrift;
+    const std::string rates = head.substr(6);
+    const size_t comma = rates.find(',');
+    std::istringstream lrate(rates.substr(0, comma));
+    if (!(lrate >> spec.latency_rate) || !lrate.eof() || spec.latency_rate < 0.0) {
+      SetError(error, row, "bad aging latency rate '" + rates.substr(0, comma) + "'");
+      return false;
+    }
+    if (comma != std::string::npos) {
+      std::istringstream frate(rates.substr(comma + 1));
+      if (!(frate >> spec.fragmentation_rate) || !frate.eof() ||
+          spec.fragmentation_rate < 0.0) {
+        SetError(error, row, "bad aging fragmentation rate '" + rates.substr(comma + 1) + "'");
+        return false;
+      }
+    }
+    if (has_duration) {
+      SetError(error, row, "aging drift takes @T (an onset), not @T+DT");
+      return false;
+    }
+    if (spec.latency_rate <= 0.0 && spec.fragmentation_rate <= 0.0) {
+      SetError(error, row, "aging drift needs a nonzero rate");
+      return false;
+    }
+  } else {
+    SetError(error, row,
+             "unknown fault '" + head + "' (want prefill:, decode:, dispatcher, link:, aging:)");
+    return false;
+  }
+  spec.when = when;
+  spec.duration = duration;
+  plan->specs.push_back(spec);
+  return true;
+}
+
+bool ParseFaultSpecs(const std::vector<std::string>& texts, FaultPlan* plan,
+                     std::string* error) {
+  for (size_t i = 0; i < texts.size(); ++i) {
+    if (!ParseFaultSpec(texts[i], static_cast<int>(i) + 1, plan, error)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void FaultPlan::ApplyTo(ShardedFleet& fleet) const {
+  for (const FaultSpec& spec : specs) {
+    switch (spec.kind) {
+      case FaultKind::kInstanceCrash:
+        fleet.ScheduleCellFailure(spec.cell, spec.prefill_partition, spec.index, spec.when,
+                                  spec.duration);
+        break;
+      case FaultKind::kDispatcherCrash:
+        fleet.ScheduleDispatcherCrash(spec.when, spec.duration);
+        break;
+      case FaultKind::kLinkDegradation:
+        if (spec.cell < 0) {
+          for (int c = 0; c < fleet.cells(); ++c) {
+            fleet.cell(c).ScheduleLinkDegradation(spec.when, spec.duration, spec.factor);
+          }
+        } else if (spec.cell < fleet.cells()) {
+          fleet.cell(spec.cell).ScheduleLinkDegradation(spec.when, spec.duration, spec.factor);
+        } else {
+          Fail("link degradation targets a cell outside the fleet");
+        }
+        break;
+      case FaultKind::kAgingDrift: {
+        AgingDriftConfig aging;
+        aging.latency_rate = spec.latency_rate;
+        aging.fragmentation_rate = spec.fragmentation_rate;
+        aging.start = spec.when;
+        if (spec.cell < 0) {
+          for (int c = 0; c < fleet.cells(); ++c) {
+            fleet.cell(c).SetAgingDrift(aging);
+          }
+        } else if (spec.cell < fleet.cells()) {
+          fleet.cell(spec.cell).SetAgingDrift(aging);
+        } else {
+          Fail("aging drift targets a cell outside the fleet");
+        }
+        break;
+      }
+    }
+  }
+}
+
+void FaultPlan::ApplyTo(AegaeonCluster& cluster) const {
+  for (const FaultSpec& spec : specs) {
+    if (spec.cell > 0) {
+      Fail("cell-targeted fault applied to a single cluster");
+    }
+    switch (spec.kind) {
+      case FaultKind::kInstanceCrash:
+        cluster.ScheduleFailure(spec.prefill_partition, spec.index, spec.when, spec.duration);
+        break;
+      case FaultKind::kDispatcherCrash:
+        Fail("dispatcher fault applied to a single cluster (it has no dispatcher)");
+        break;
+      case FaultKind::kLinkDegradation:
+        cluster.ScheduleLinkDegradation(spec.when, spec.duration, spec.factor);
+        break;
+      case FaultKind::kAgingDrift: {
+        AgingDriftConfig aging;
+        aging.latency_rate = spec.latency_rate;
+        aging.fragmentation_rate = spec.fragmentation_rate;
+        aging.start = spec.when;
+        cluster.SetAgingDrift(aging);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace aegaeon

@@ -1,0 +1,92 @@
+// Declarative fault scenarios for the fleet: a FaultPlan is a parsed,
+// validated list of scheduled faults — instance crashes mid-decode,
+// dispatcher (leader) crashes mid-epoch, transfer-link degradation
+// windows, and software-aging drift — applied to a ShardedFleet (or a
+// single AegaeonCluster) before a run.
+//
+// Specs use a compact scripting syntax (one spec per string, typically one
+// CLI flag each):
+//
+//   prefill:IDX@T+DT        instance IDX of the prefill partition fails at
+//   decode:IDX@T+DT         T (simulated seconds) and recovers after DT;
+//   cell/C/decode:IDX@T+DT  the cell/C/ prefix targets one fleet cell
+//                           (default: cell 0)
+//   dispatcher@T+DT         the dispatcher replica leading at T crashes
+//                           and recovers after DT
+//   link:FACTOR@T+DT        every PCIe transfer link of the cell runs at
+//                           FACTOR (0 < FACTOR <= 1) of its bandwidth for
+//                           DT seconds; cell/C/link:... targets one cell
+//   aging:LRATE[,FRATE][@T] latency inflates by a factor (1 + LRATE * dt)
+//                           and the usable KV budget deflates by
+//                           (1 + FRATE * dt), dt measured from T (default
+//                           0); cell/C/aging:... targets one cell
+//
+// Malformed specs are rejected with their row number ("spec 3: ..."), the
+// same convention ReadTrace uses for trace rows. Range validation against
+// a concrete fleet (cell count, instances per cell) happens in ApplyTo.
+
+#ifndef AEGAEON_CTRL_FAULT_PLAN_H_
+#define AEGAEON_CTRL_FAULT_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace aegaeon {
+
+class AegaeonCluster;
+class ShardedFleet;
+
+enum class FaultKind {
+  kInstanceCrash,     // one prefill/decode instance of one cell
+  kDispatcherCrash,   // the control-plane leader
+  kLinkDegradation,   // a cell's PCIe links lose bandwidth for a window
+  kAgingDrift,        // gradual latency/fragmentation drift of a cell
+};
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kInstanceCrash;
+  // Target cell; -1 = every cell (aging/link only).
+  int cell = 0;
+  // kInstanceCrash: which partition and instance.
+  bool prefill_partition = true;
+  int index = 0;
+  TimePoint when = 0.0;
+  Duration duration = 0.0;  // downtime (crashes) or window length (link)
+  // kLinkDegradation: bandwidth multiplier in (0, 1].
+  double factor = 1.0;
+  // kAgingDrift: fractional growth rates per simulated second.
+  double latency_rate = 0.0;
+  double fragmentation_rate = 0.0;
+};
+
+struct FaultPlan {
+  std::vector<FaultSpec> specs;
+
+  bool empty() const { return specs.empty(); }
+  // True when any spec kills a dispatcher (the fleet then needs the
+  // deferred-commit control plane).
+  bool HasDispatcherFault() const;
+
+  // Schedules every spec on `fleet`. Validates cell/instance ranges
+  // against the concrete fleet and fails fast (abort) on any violation.
+  // Call before Run().
+  void ApplyTo(ShardedFleet& fleet) const;
+  // Single-cluster form: every spec must target cell 0 (or -1) and
+  // dispatcher faults are rejected (a lone cluster has no dispatcher).
+  void ApplyTo(AegaeonCluster& cluster) const;
+};
+
+// Parses one spec (see syntax above) and appends it to `plan`. `row` is
+// the 1-based position used in error messages. Returns false and sets
+// `*error` ("spec N: reason") on malformed input.
+bool ParseFaultSpec(const std::string& text, int row, FaultPlan* plan, std::string* error);
+
+// Parses a whole list; stops at the first malformed spec.
+bool ParseFaultSpecs(const std::vector<std::string>& texts, FaultPlan* plan,
+                     std::string* error);
+
+}  // namespace aegaeon
+
+#endif  // AEGAEON_CTRL_FAULT_PLAN_H_

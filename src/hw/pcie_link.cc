@@ -11,7 +11,7 @@ PcieLink::Span PcieLink::Transfer(TimePoint now, double bytes, CopyDir dir,
   TimePoint& free_at = (dir == CopyDir::kHostToDevice) ? free_h2d_ : free_d2h_;
   Duration& busy = (dir == CopyDir::kHostToDevice) ? busy_h2d_ : busy_d2h_;
   TimePoint start = std::max({now, free_at, ready_after});
-  Duration duration = bytes / (raw_bw_ * effective_fraction);
+  Duration duration = bytes / (raw_bw_ * effective_fraction * health_);
   TimePoint end = start + duration;
   free_at = end;
   busy += duration;

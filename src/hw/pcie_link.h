@@ -47,6 +47,12 @@ class PcieLink {
   double raw_bw() const { return raw_bw_; }
   double efficiency() const { return efficiency_; }
 
+  // Degradation fraction in (0, 1] multiplying the usable bandwidth — the
+  // fault engine's transfer-link fault (ctrl/fault_plan.h). 1.0 (the
+  // default) is a bitwise no-op on every transfer duration.
+  void set_health(double fraction) { health_ = fraction; }
+  double health() const { return health_; }
+
   // Cumulative busy time per direction, for utilization reports.
   Duration busy_h2d() const { return busy_h2d_; }
   Duration busy_d2h() const { return busy_d2h_; }
@@ -54,6 +60,7 @@ class PcieLink {
  private:
   double raw_bw_;
   double efficiency_;
+  double health_ = 1.0;
   TimePoint free_h2d_ = 0.0;
   TimePoint free_d2h_ = 0.0;
   Duration busy_h2d_ = 0.0;

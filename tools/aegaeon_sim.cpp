@@ -27,6 +27,7 @@
 #include "baselines/unified.h"
 #include "core/cluster.h"
 #include "core/fleet.h"
+#include "ctrl/fault_plan.h"
 #include "hw/gpu_spec.h"
 #include "model/registry.h"
 #include "workload/dataset.h"
@@ -61,6 +62,10 @@ struct Options {
   double dispatch_latency = 0.05;
   bool epoch_skipping = true;
   int route_quantum = 4;
+  int ctrl_replicas = 1;
+  // Fault specs in flag order (ctrl/fault_plan.h syntax); --kill-dispatcher
+  // and --aging-drift are sugar that appends here too.
+  std::vector<std::string> fault_specs;
   bool per_model = false;
   std::string json_out;
   std::string matrix_out;
@@ -94,6 +99,15 @@ void Usage() {
       "                 part of the simulated config — changes router staleness)\n"
       "  --no-epoch-skip       step the fleet barrier one lookahead at a time\n"
       "                 (pre-skip protocol; advances every cell every epoch)\n"
+      "  --ctrl-replicas N     dispatcher replicas for the fleet control plane\n"
+      "                 (default 1 = replication off; aegaeon only)\n"
+      "  --fail SPEC    schedule a fault (repeatable; aegaeon only):\n"
+      "                 prefill:IDX@T+DT | decode:IDX@T+DT | dispatcher@T[+DT] |\n"
+      "                 link:FACTOR@T+DT | aging:LRATE[,FRATE][@T]; prefix\n"
+      "                 cell/C/ targets one fleet cell\n"
+      "  --kill-dispatcher T   sugar for --fail dispatcher@T (forces the fleet\n"
+      "                 executor even with --cells 1)\n"
+      "  --aging-drift RATE    sugar for --fail aging:RATE (latency drift)\n"
       "  --per-model    print a per-model quality report\n"
       "  --json F       write headline metrics as JSON\n"
       "  --dump-workload-matrix F  write the planner's (model x input x output)\n"
@@ -187,6 +201,14 @@ bool ParseArgs(int argc, char** argv, Options& opts) {
       opts.route_quantum = std::atoi(next("--route-quantum"));
     } else if (arg == "--no-epoch-skip") {
       opts.epoch_skipping = false;
+    } else if (arg == "--ctrl-replicas") {
+      opts.ctrl_replicas = std::atoi(next("--ctrl-replicas"));
+    } else if (arg == "--fail") {
+      opts.fault_specs.push_back(next("--fail"));
+    } else if (arg == "--kill-dispatcher") {
+      opts.fault_specs.push_back(std::string("dispatcher@") + next("--kill-dispatcher"));
+    } else if (arg == "--aging-drift") {
+      opts.fault_specs.push_back(std::string("aging:") + next("--aging-drift"));
     } else if (arg == "--per-model") {
       opts.per_model = true;
     } else if (arg == "--json") {
@@ -214,6 +236,15 @@ bool ParseArgs(int argc, char** argv, Options& opts) {
   }
   if (opts.route_quantum < 1) {
     std::fprintf(stderr, "--route-quantum must be >= 1\n");
+    return false;
+  }
+  if (opts.ctrl_replicas < 1) {
+    std::fprintf(stderr, "--ctrl-replicas must be >= 1\n");
+    return false;
+  }
+  if ((!opts.fault_specs.empty() || opts.ctrl_replicas > 1) && opts.system != "aegaeon") {
+    std::fprintf(stderr, "--fail/--kill-dispatcher/--aging-drift/--ctrl-replicas require "
+                         "--system aegaeon\n");
     return false;
   }
   return true;
@@ -302,7 +333,19 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  if (opts.system == "aegaeon" && (opts.cells > 1 || opts.shards > 1)) {
+  FaultPlan fault_plan;
+  std::string fault_error;
+  if (!ParseFaultSpecs(opts.fault_specs, &fault_plan, &fault_error)) {
+    std::fprintf(stderr, "bad fault spec: %s\n", fault_error.c_str());
+    return 2;
+  }
+  // A dispatcher exists only in the fleet executor: a dispatcher fault (or
+  // replication) promotes a single-cell run onto the fleet path.
+  const bool fleet_run = opts.system == "aegaeon" &&
+                         (opts.cells > 1 || opts.shards > 1 ||
+                          fault_plan.HasDispatcherFault() || opts.ctrl_replicas > 1);
+
+  if (fleet_run) {
     // Fleet path: a pool of identical Aegaeon cells behind a fleet
     // dispatcher, advanced by the sharded conservative-sync executor.
     FleetConfig config;
@@ -311,6 +354,7 @@ int main(int argc, char** argv) {
     config.dispatch_latency = opts.dispatch_latency;
     config.epoch_skipping = opts.epoch_skipping;
     config.route_quantum = opts.route_quantum;
+    config.ctrl.replicas = opts.ctrl_replicas;
     config.cell.prefill_instances = opts.prefill;
     config.cell.decode_instances = opts.decode;
     config.cell.nodes = opts.nodes;
@@ -319,6 +363,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "--timeline is not supported with --cells/--shards; ignoring\n");
     }
     ShardedFleet fleet(config, registry, gpu);
+    fault_plan.ApplyTo(fleet);
     RunMetrics metrics = fleet.Run(trace);
     PrintMetrics(opts.system, metrics);
     std::printf("fleet:               %d cells x %d GPUs, %d shard(s), %lu sync epochs "
@@ -332,6 +377,15 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long>(audit.checks),
                   static_cast<unsigned long>(audit.violations),
                   static_cast<unsigned long>(audit.sync_overruns));
+    }
+    if (metrics.ctrl.Any()) {
+      std::printf("control plane:       %lu heartbeats, %lu elections, %lu failovers, "
+                  "%lu re-dispatched, %.2f s leaderless\n",
+                  static_cast<unsigned long>(metrics.ctrl.heartbeats_sent),
+                  static_cast<unsigned long>(metrics.ctrl.elections),
+                  static_cast<unsigned long>(metrics.ctrl.failovers),
+                  static_cast<unsigned long>(metrics.ctrl.redispatched_requests),
+                  metrics.ctrl.leader_downtime);
     }
     if (opts.per_model) {
       std::deque<Request> pooled;
@@ -354,6 +408,7 @@ int main(int argc, char** argv) {
     config.nodes = opts.nodes;
     config.resident_models = opts.residents;
     AegaeonCluster cluster(config, registry, gpu);
+    fault_plan.ApplyTo(cluster);
     TimelineRecorder recorder;
     if (!opts.timeline.empty()) {
       cluster.AttachTimeline(&recorder);

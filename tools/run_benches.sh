@@ -19,12 +19,17 @@ BASELINE="$REPO_ROOT/tools/bench_baseline.json"
 RESULT="$BUILD_DIR/BENCH_sim_perf.json"
 FLEET_RESULT="$BUILD_DIR/BENCH_fleet_scale.json"
 PLANNER_RESULT="$BUILD_DIR/BENCH_planner.json"
+FAILOVER_RESULT="$BUILD_DIR/BENCH_failover.json"
 MAX_REGRESSION_PCT=20
+# Goodput retention through the crash-storm (dispatcher kill + 2 instance
+# failures) must stay above this floor; the run is deterministic, so a dip
+# means the failover path itself got slower, not the machine.
+FAILOVER_RETENTION_FLOOR=0.90
 
 echo "== Configuring Release build in $BUILD_DIR"
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release > /dev/null
 cmake --build "$BUILD_DIR" -j --target bench_sim_perf bench_fig13_stricter_slos \
-  bench_overload bench_fleet_scale bench_planner > /dev/null
+  bench_overload bench_fleet_scale bench_planner bench_failover > /dev/null
 
 echo "== Running bench_sim_perf"
 "$BUILD_DIR/bench/bench_sim_perf" "$RESULT"
@@ -49,6 +54,12 @@ echo "== Running bench_planner (capacity-planner cost gate)"
 # Exits nonzero unless the certified heterogeneous plan beats the best
 # homogeneous pool by >= 10% at the reference rate, bit-identically.
 "$BUILD_DIR/bench/bench_planner" "$PLANNER_RESULT"
+
+echo
+echo "== Running bench_failover (control-plane crash-storm gate)"
+# Exits nonzero on shard-count divergence through the failover, on any
+# lost request, or if the storm never actually exercised an election.
+"$BUILD_DIR/bench/bench_failover" "$FAILOVER_RESULT"
 
 json_field() {  # json_field <file> <key>  — first "key": <number> match
   sed -n "s/.*\"$2\": *\([0-9.]*\).*/\1/p" "$1" | head -1
@@ -172,6 +183,38 @@ ok=$(awk -v c="$planner_savings" -v b="$planner_baseline_savings" -v m="$MAX_REG
 if [ "$ok" != "yes" ]; then
   echo "FAIL: planner savings ${planner_savings}% below the 10% floor or" \
        "regressed more than ${MAX_REGRESSION_PCT}% vs baseline" >&2
+  exit 1
+fi
+
+# --- Failover gate ----------------------------------------------------------
+# The bench already hard-fails on divergence, lost requests, or a storm
+# that never triggered an election; the retention floor here catches a
+# failover path that keeps its exactly-once guarantee but burns goodput.
+failover_identical=$(sed -n 's/.*"identical_results": *\(true\|false\).*/\1/p' "$FAILOVER_RESULT")
+failover_complete=$(sed -n 's/.*"all_requests_complete": *\(true\|false\).*/\1/p' "$FAILOVER_RESULT")
+failover_retention=$(json_field "$FAILOVER_RESULT" goodput_retention)
+failover_baseline_retention=$(json_field "$BASELINE" goodput_retention)
+
+echo
+echo "== Failover gate"
+echo "   crash-storm goodput retention: current=${failover_retention}" \
+     "baseline=${failover_baseline_retention} (floor ${FAILOVER_RETENTION_FLOOR})"
+
+if [ "$failover_identical" != "true" ]; then
+  echo "FAIL: crash-storm run diverged across shard counts" >&2
+  exit 1
+fi
+
+if [ "$failover_complete" != "true" ]; then
+  echo "FAIL: crash-storm run lost or truncated requests" >&2
+  exit 1
+fi
+
+ok=$(awk -v c="$failover_retention" -v f="$FAILOVER_RETENTION_FLOOR" \
+  'BEGIN { print (c >= f) ? "yes" : "no" }')
+if [ "$ok" != "yes" ]; then
+  echo "FAIL: crash-storm goodput retention ${failover_retention} below the" \
+       "${FAILOVER_RETENTION_FLOOR} floor" >&2
   exit 1
 fi
 
